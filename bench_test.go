@@ -1,0 +1,305 @@
+// Package bench is the benchmark harness required by the reproduction:
+// one testing.B benchmark per paper table/figure (each iteration runs the
+// full experiment at quick scale and reports its headline metric), plus
+// micro-benchmarks for the substrates the experiments stand on.
+//
+// Run: go test -bench=. -benchmem   (add -benchtime=1x for single shots)
+package bench
+
+import (
+	"testing"
+
+	"tscout/internal/bpf"
+	"tscout/internal/dbms"
+	"tscout/internal/experiment"
+	"tscout/internal/index"
+	"tscout/internal/kernel"
+	"tscout/internal/model"
+	"tscout/internal/sim"
+	"tscout/internal/sql"
+	"tscout/internal/tscout"
+	"tscout/internal/wal"
+	"tscout/internal/workload"
+)
+
+// benchScale trims the experiments further for benchmark iterations.
+func benchScale() experiment.Scale {
+	sc := experiment.Quick
+	sc.OnlineTxns = 800
+	sc.RatePoints = []int{0, 20, 100}
+	sc.ConvergenceSizes = []int{150, 400, 1000}
+	return sc
+}
+
+func BenchmarkFig1MetricsCollectionLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].P99Ms, "kernel-p99-ms")
+	}
+}
+
+func BenchmarkFig2OfflineVsOnline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Subsystem == tscout.SubsystemLogSerializer {
+				b.ReportMetric(r.ReductionPct, "logser-reduction-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5And6OverheadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig5and6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var kcPeak float64
+		for _, r := range rows {
+			if r.Mode == tscout.KernelContinuous && r.SamplesPerSec > kcPeak {
+				kcPeak = r.SamplesPerSec
+			}
+		}
+		b.ReportMetric(kcPeak, "kernel-peak-samples/s")
+	}
+}
+
+func BenchmarkFig7HardwareMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Subsystem == tscout.SubsystemDiskWriter && r.Scenario == "Larger HW" {
+				b.ReportMetric(r.ReductionPct, "diskwriter-reduction-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8AdjustableSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dip := (rows[0].ThroughputTPS - rows[1].ThroughputTPS) / rows[0].ThroughputTPS * 100
+		b.ReportMetric(dip, "collection-dip-%")
+	}
+}
+
+func BenchmarkFig9ConvergenceTPCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Subsystem == tscout.SubsystemLogSerializer {
+				b.ReportMetric(r.OnlineUS, "logser-final-us")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10ConvergenceCHBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig10(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11ConcurrencyScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var best float64
+		for _, r := range rows {
+			if r.Terminals == 20 && r.ReductionPct > best {
+				best = r.ReductionPct
+			}
+		}
+		b.ReportMetric(best, "reduction-at-20-clients-%")
+	}
+}
+
+func BenchmarkFig12Generalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig12(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummaryHeadlineClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.KernelOverheadPctAt10, "overhead-at-10pct-%")
+	}
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkCollectorInvocation measures one full BEGIN/END/FEATURES marker
+// cycle through the generated, verified BPF Collector — the per-OU cost
+// the paper's overhead numbers are built from.
+func BenchmarkCollectorInvocation(b *testing.B) {
+	k := kernel.New(sim.LargeHW, 1, 0)
+	ts := tscout.New(k, tscout.Config{Seed: 1})
+	m := ts.MustRegisterOU(tscout.OUDef{
+		ID: 1, Name: "bench_ou", Subsystem: tscout.SubsystemExecutionEngine,
+		Features: []string{"a", "b"},
+	}, tscout.ResourceSet{CPU: true, Disk: true})
+	if err := ts.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	ts.Sampler().SetAllRates(100)
+	task := k.NewTask("bench")
+	ts.BeginEvent(task, tscout.SubsystemExecutionEngine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Begin(task)
+		m.End(task)
+		m.Features(task, 64, 1, 2)
+	}
+	b.StopTimer()
+	ts.Processor().Poll()
+}
+
+// BenchmarkCollectorVsDirectGo is the DESIGN.md ablation: the verified
+// interpreted Collector against a "cheating" direct-Go handler, isolating
+// the BPF interpretation overhead in real (not virtual) time.
+func BenchmarkCollectorVsDirectGo(b *testing.B) {
+	k := kernel.New(sim.LargeHW, 1, 0)
+	col, err := tscout.GenerateCollector(tscout.SubsystemExecutionEngine,
+		tscout.ResourceSet{CPU: true}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := k.NewTask("bench")
+	b.Run("bpf-interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := col.Begin.Run(task, []uint64{1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-go", func(b *testing.B) {
+		snap := make(map[int][5]float64)
+		for i := 0; i < b.N; i++ {
+			var cur [5]float64
+			for j, c := range []kernel.Counter{
+				kernel.CounterCycles, kernel.CounterInstructions,
+				kernel.CounterCacheRefs, kernel.CounterCacheMisses,
+				kernel.CounterRefCycles,
+			} {
+				cur[j] = task.Perf().Read(c).Normalized()
+			}
+			snap[task.PID] = cur
+		}
+	})
+}
+
+func BenchmarkBPFVerifier(b *testing.B) {
+	col, err := tscout.GenerateCollector(tscout.SubsystemExecutionEngine,
+		tscout.ResourceSet{CPU: true, Disk: true, Network: true}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := col.Features.Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bpf.Verify(prog, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeInsertSearch(b *testing.B) {
+	bt := index.NewBTree()
+	for i := int64(0); i < 100000; i++ {
+		bt.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i % 100000)
+		if got := bt.Search(k); len(got) == 0 {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSQLParseTPCCStatement(b *testing.B) {
+	const q = "UPDATE stock SET s_quantity = s_quantity - $1, s_ytd = s_ytd + $2, " +
+		"s_order_cnt = s_order_cnt + 1 WHERE s_w_id = $3 AND s_i_id = $4"
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestTraining(b *testing.B) {
+	pts := make([]model.Point, 2000)
+	for i := range pts {
+		x := float64(i % 500)
+		pts[i] = model.Point{OU: 1, Features: []float64{x, x * 2}, TargetUS: 3 * x}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Train(pts, model.Forest{Trees: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCCTransactionVirtual(b *testing.B) {
+	srv, gen := newTPCCServer(b, false)
+	b.ResetTimer()
+	if _, err := workload.Run(srv, gen, workload.Config{
+		Terminals: 4, Transactions: b.N, Seed: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTPCCTransactionInstrumented(b *testing.B) {
+	srv, gen := newTPCCServer(b, true)
+	srv.TS.Sampler().SetAllRates(10)
+	b.ResetTimer()
+	if _, err := workload.Run(srv, gen, workload.Config{
+		Terminals: 4, Transactions: b.N, Seed: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func newTPCCServer(b *testing.B, instrument bool) (*dbms.Server, *workload.TPCC) {
+	b.Helper()
+	srv, err := dbms.NewServer(dbms.Config{
+		Seed: 1, Instrument: instrument, DisableFeedback: true,
+		WAL: wal.Config{GroupSize: 8, FlushIntervalNS: 100_000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := &workload.TPCC{Warehouses: 1, CustomersPerDistrict: 10, Items: 100, InitialOrdersPerDistrict: 10}
+	if err := g.Setup(srv); err != nil {
+		b.Fatal(err)
+	}
+	return srv, g
+}

@@ -1,0 +1,119 @@
+// Command tsctl inspects a TScout deployment: the registered OUs and
+// their subsystems, the generated Collector programs (with disassembly),
+// and the kernel tracepoints they attach to. It builds the same
+// instrumented DBMS the benchmarks use, runs TScout's Setup Phase, and
+// dumps what the Codegen produced — the artifacts a developer would audit
+// before trusting kernel-space collection in production.
+//
+// Usage:
+//
+//	tsctl ous                   list operating units and subsystems
+//	tsctl tracepoints           list kernel tracepoints
+//	tsctl disasm <subsystem>    disassemble a Collector's three programs
+//	                            (execution-engine, networking,
+//	                             log-serializer, disk-writer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tscout/internal/dbms"
+	"tscout/internal/tscout"
+	"tscout/internal/wal"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>")
+		os.Exit(2)
+	}
+	srv, err := dbms.NewServer(dbms.Config{
+		Seed:       1,
+		Instrument: true,
+		WAL:        wal.Config{Synchronous: true},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch flag.Arg(0) {
+	case "ous":
+		listOUs(srv)
+	case "tracepoints":
+		names := srv.Kernel.TracepointNames()
+		sort.Strings(names)
+		for _, n := range names {
+			tp := srv.Kernel.Tracepoint(n)
+			fmt.Printf("%-45s attached=%v\n", n, tp.Attached())
+		}
+	case "disasm":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: tsctl disasm <subsystem>")
+			os.Exit(2)
+		}
+		if err := disasm(srv, flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "tsctl: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tsctl: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func listOUs(srv *dbms.Server) {
+	type row struct {
+		id   tscout.OUID
+		name string
+		sub  tscout.SubsystemID
+		nf   int
+	}
+	var rows []row
+	for id := tscout.OUID(0); id < 200; id++ {
+		if def, ok := srv.TS.OU(id); ok {
+			rows = append(rows, row{id, def.Name, def.Subsystem, len(def.Features)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	fmt.Printf("%4s %-18s %-18s %s\n", "id", "operating unit", "subsystem", "features")
+	for _, r := range rows {
+		def, _ := srv.TS.OU(r.id)
+		fmt.Printf("%4d %-18s %-18s %v\n", r.id, r.name, r.sub.String(), def.Features)
+	}
+}
+
+func disasm(srv *dbms.Server, subName string) error {
+	var sub tscout.SubsystemID
+	found := false
+	for _, s := range tscout.AllSubsystems {
+		if s.String() == subName {
+			sub, found = s, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown subsystem %q", subName)
+	}
+	col := srv.TS.CollectorFor(sub)
+	if col == nil {
+		return fmt.Errorf("no Collector generated for %s", subName)
+	}
+	fmt.Printf("Collector for %s (resources: CPU=%v Disk=%v Network=%v)\n",
+		subName, col.Resources.CPU, col.Resources.Disk, col.Resources.Network)
+	for _, prog := range []struct {
+		name string
+		p    interface{ Disassemble() string }
+	}{
+		{"BEGIN", col.Begin.Program()},
+		{"END", col.End.Program()},
+		{"FEATURES", col.Features.Program()},
+	} {
+		fmt.Printf("\n--- %s ---\n%s", prog.name, prog.p.Disassemble())
+	}
+	return nil
+}

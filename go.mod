@@ -1,0 +1,3 @@
+module tscout
+
+go 1.22

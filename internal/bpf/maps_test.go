@@ -1,0 +1,372 @@
+package bpf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap("h", 8, 16, 4)
+	if m.Name() != "h" || m.KeySize() != 8 || m.ValueSize() != 16 || m.MaxEntries() != 4 {
+		t.Fatalf("metadata: %v %v %v %v", m.Name(), m.KeySize(), m.ValueSize(), m.MaxEntries())
+	}
+	key := U64Key(42)
+	if m.Lookup(key) != nil {
+		t.Fatalf("lookup on empty map must be nil")
+	}
+	val := make([]byte, 16)
+	PutU64(val, 7)
+	if err := m.Update(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Lookup(key)
+	if got == nil || U64(got) != 7 {
+		t.Fatalf("lookup after update: %v", got)
+	}
+	// Map value pointers alias storage: in-place writes persist.
+	PutU64(got, 99)
+	if U64(m.Lookup(key)) != 99 {
+		t.Fatalf("value mutation must persist (BPF map-value-pointer semantics)")
+	}
+	if !m.Delete(key) {
+		t.Fatalf("delete must report presence")
+	}
+	if m.Delete(key) {
+		t.Fatalf("double delete must report absence")
+	}
+}
+
+func TestHashMapSizeChecks(t *testing.T) {
+	m := NewHashMap("h", 8, 8, 4)
+	if err := m.Update([]byte{1}, make([]byte, 8)); err != ErrBadKeySize {
+		t.Fatalf("short key: %v", err)
+	}
+	if err := m.Update(U64Key(1), make([]byte, 3)); err != ErrBadValSize {
+		t.Fatalf("short value: %v", err)
+	}
+	if m.Lookup([]byte{1, 2}) != nil {
+		t.Fatalf("bad key size lookup must be nil")
+	}
+	if m.Delete([]byte{1}) {
+		t.Fatalf("bad key size delete must be false")
+	}
+}
+
+func TestHashMapCapacity(t *testing.T) {
+	m := NewHashMap("h", 8, 8, 2)
+	v := make([]byte, 8)
+	if err := m.Update(U64Key(1), v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(U64Key(2), v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(U64Key(3), v); err != ErrMapFull {
+		t.Fatalf("over capacity: %v", err)
+	}
+	// Replacing an existing key is allowed at capacity.
+	if err := m.Update(U64Key(2), v); err != nil {
+		t.Fatalf("replace at capacity: %v", err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len: %d", m.Len())
+	}
+}
+
+func TestHashMapUpdateCopies(t *testing.T) {
+	m := NewHashMap("h", 8, 8, 4)
+	v := make([]byte, 8)
+	PutU64(v, 5)
+	_ = m.Update(U64Key(1), v)
+	PutU64(v, 6) // mutate caller buffer after update
+	if U64(m.Lookup(U64Key(1))) != 5 {
+		t.Fatalf("Update must copy the value")
+	}
+}
+
+func TestArrayMap(t *testing.T) {
+	a := NewArrayMap("a", 8, 3)
+	if a.KeySize() != 8 || a.Len() != 3 || a.MaxEntries() != 3 {
+		t.Fatalf("metadata")
+	}
+	if a.Lookup(U64Key(3)) != nil {
+		t.Fatalf("out-of-range index must be nil")
+	}
+	slot := a.Lookup(U64Key(1))
+	if slot == nil || U64(slot) != 0 {
+		t.Fatalf("slots must exist zeroed")
+	}
+	v := make([]byte, 8)
+	PutU64(v, 11)
+	if err := a.Update(U64Key(1), v); err != nil {
+		t.Fatal(err)
+	}
+	if U64(a.Lookup(U64Key(1))) != 11 {
+		t.Fatalf("update")
+	}
+	if err := a.Update(U64Key(9), v); err == nil {
+		t.Fatalf("out-of-range update must fail")
+	}
+	if err := a.Update(U64Key(1), []byte{1}); err != ErrBadValSize {
+		t.Fatalf("bad value size: %v", err)
+	}
+	if !a.Delete(U64Key(1)) || U64(a.Lookup(U64Key(1))) != 0 {
+		t.Fatalf("delete must zero the slot")
+	}
+	if a.Delete(U64Key(5)) {
+		t.Fatalf("out-of-range delete")
+	}
+}
+
+func TestStackMapLIFO(t *testing.T) {
+	s := NewStackMap("s", 8, 3)
+	if s.KeySize() != 0 || s.ValueSize() != 8 {
+		t.Fatalf("metadata")
+	}
+	if _, err := s.Pop(); err != ErrStackEmpty {
+		t.Fatalf("pop empty: %v", err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := s.Push(U64Key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Push(U64Key(4)); err != ErrMapFull {
+		t.Fatalf("push full: %v", err)
+	}
+	if top := s.Lookup(nil); U64(top) != 3 {
+		t.Fatalf("peek: %v", U64(top))
+	}
+	for want := uint64(3); want >= 1; want-- {
+		v, err := s.Pop()
+		if err != nil || U64(v) != want {
+			t.Fatalf("pop: %v %v want %d", v, err, want)
+		}
+	}
+	_ = s.Push(U64Key(9))
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("clear")
+	}
+	if err := s.Push([]byte{1}); err != ErrBadValSize {
+		t.Fatalf("bad size push: %v", err)
+	}
+}
+
+func TestStackMapMapInterface(t *testing.T) {
+	s := NewStackMap("s", 8, 2)
+	if err := s.Update(nil, U64Key(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Delete(nil) {
+		t.Fatalf("delete pops")
+	}
+	if s.Delete(nil) {
+		t.Fatalf("delete on empty")
+	}
+}
+
+func TestPerTaskMap(t *testing.T) {
+	p := NewPerTaskMap("p", 16)
+	slot := p.Lookup(U64Key(7))
+	if slot == nil || len(slot) != 16 {
+		t.Fatalf("per-task slot must auto-create")
+	}
+	PutU64(slot, 3)
+	if U64(p.Lookup(U64Key(7))) != 3 {
+		t.Fatalf("slot must persist per PID")
+	}
+	if U64(p.Lookup(U64Key(8))) != 0 {
+		t.Fatalf("other PID must have its own slot")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len: %d", p.Len())
+	}
+	if err := p.Update(U64Key(7), make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if U64(p.Lookup(U64Key(7))) != 0 {
+		t.Fatalf("update must overwrite")
+	}
+	if !p.Delete(U64Key(7)) || p.Delete(U64Key(7)) {
+		t.Fatalf("delete semantics")
+	}
+	if p.Lookup([]byte{1}) != nil || p.Delete([]byte{1}) {
+		t.Fatalf("bad key size")
+	}
+	if err := p.Update(U64Key(1), []byte{1}); err != ErrBadValSize {
+		t.Fatalf("bad value size: %v", err)
+	}
+	if p.MaxEntries() != 0 || p.KeySize() != 8 || p.ValueSize() != 16 || p.Name() != "p" {
+		t.Fatalf("metadata")
+	}
+}
+
+func TestPerfRingBufferOrder(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 4)
+	for i := byte(0); i < 3; i++ {
+		r.Submit([]byte{i})
+	}
+	got := r.Drain(0)
+	if len(got) != 3 {
+		t.Fatalf("drain count: %d", len(got))
+	}
+	for i, g := range got {
+		if g[0] != byte(i) {
+			t.Fatalf("FIFO order violated: %v", got)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("drain must empty the ring")
+	}
+}
+
+func TestPerfRingBufferOverwrite(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 2)
+	for i := byte(0); i < 5; i++ {
+		r.Submit([]byte{i})
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped: %d want 3", r.Dropped())
+	}
+	if r.Submitted() != 5 {
+		t.Fatalf("submitted: %d want 5", r.Submitted())
+	}
+	got := r.Drain(0)
+	if len(got) != 2 || got[0][0] != 3 || got[1][0] != 4 {
+		t.Fatalf("overwrite must keep newest: %v", got)
+	}
+}
+
+func TestPerfRingBufferDrainMax(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 8)
+	for i := byte(0); i < 6; i++ {
+		r.Submit([]byte{i})
+	}
+	first := r.Drain(2)
+	if len(first) != 2 || first[0][0] != 0 || first[1][0] != 1 {
+		t.Fatalf("bounded drain: %v", first)
+	}
+	rest := r.Drain(0)
+	if len(rest) != 4 || rest[0][0] != 2 {
+		t.Fatalf("remainder: %v", rest)
+	}
+}
+
+func TestPerfRingBufferSubmitCopies(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 2)
+	buf := []byte{1, 2, 3}
+	r.Submit(buf)
+	buf[0] = 9
+	got := r.Drain(0)
+	if !bytes.Equal(got[0], []byte{1, 2, 3}) {
+		t.Fatalf("Submit must copy: %v", got[0])
+	}
+}
+
+func TestPerfRingBufferReset(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 2)
+	r.Submit([]byte{1})
+	r.Submit([]byte{2})
+	r.Submit([]byte{3})
+	r.Reset()
+	if r.Len() != 0 || r.Submitted() != 0 || r.Dropped() != 0 {
+		t.Fatalf("reset must clear everything")
+	}
+}
+
+func TestPerfRingBufferMapAdapter(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 2)
+	if r.Lookup(nil) != nil || r.Delete(nil) {
+		t.Fatalf("lookup/delete unsupported")
+	}
+	if err := r.Update(nil, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("update must submit")
+	}
+	if r.KeySize() != 0 || r.ValueSize() != 0 || r.MaxEntries() != 2 || r.Name() != "rb" {
+		t.Fatalf("metadata")
+	}
+}
+
+func TestPerfRingBufferMinCapacity(t *testing.T) {
+	r := NewPerfRingBuffer("rb", 0)
+	r.Submit([]byte{1})
+	if r.Len() != 1 {
+		t.Fatalf("capacity must clamp to >=1")
+	}
+}
+
+// Property: a ring buffer drained after N submissions holds exactly
+// min(N, capacity) samples and they are the newest N in order.
+func TestPerfRingBufferProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewPerfRingBuffer("rb", capacity)
+		for i := 0; i < int(n); i++ {
+			r.Submit([]byte{byte(i)})
+		}
+		got := r.Drain(0)
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		if len(got) != want {
+			return false
+		}
+		for i, g := range got {
+			if g[0] != byte(int(n)-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash map behaves like a Go map for random operations.
+func TestHashMapModelProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint64
+	}
+	f := func(ops []op) bool {
+		m := NewHashMap("h", 8, 8, 1<<20)
+		model := map[uint64]uint64{}
+		for _, o := range ops {
+			k := U64Key(uint64(o.Key))
+			switch o.Kind % 3 {
+			case 0:
+				v := make([]byte, 8)
+				PutU64(v, o.Value)
+				_ = m.Update(k, v)
+				model[uint64(o.Key)] = o.Value
+			case 1:
+				got := m.Lookup(k)
+				want, ok := model[uint64(o.Key)]
+				if ok != (got != nil) {
+					return false
+				}
+				if ok && U64(got) != want {
+					return false
+				}
+			case 2:
+				_, ok := model[uint64(o.Key)]
+				if m.Delete(k) != ok {
+					return false
+				}
+				delete(model, uint64(o.Key))
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package bpf
+
+import "sync"
+
+// PerfRingBuffer is the bounded channel between the kernel-space Collector
+// and the user-space Processor (paper §3.2). perf_event_output submits a
+// completed sample; the Processor drains batches from user space. The
+// buffer is bounded: when full, the oldest sample is overwritten and a drop
+// is counted — the Collector never blocks, which is TScout's "no back
+// pressure" guarantee.
+type PerfRingBuffer struct {
+	name     string
+	capacity int
+
+	mu      sync.Mutex
+	entries [][]byte
+	head    int // index of oldest entry
+	count   int
+
+	submitted int64
+	dropped   int64
+}
+
+// NewPerfRingBuffer creates a ring buffer holding at most capacity samples.
+func NewPerfRingBuffer(name string, capacity int) *PerfRingBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PerfRingBuffer{
+		name:     name,
+		capacity: capacity,
+		entries:  make([][]byte, capacity),
+	}
+}
+
+// Name returns the buffer name.
+func (r *PerfRingBuffer) Name() string { return r.name }
+
+// KeySize returns 0; ring buffers are keyless.
+func (r *PerfRingBuffer) KeySize() int { return 0 }
+
+// ValueSize returns 0; samples are variable-length.
+func (r *PerfRingBuffer) ValueSize() int { return 0 }
+
+// MaxEntries returns the capacity.
+func (r *PerfRingBuffer) MaxEntries() int { return r.capacity }
+
+// Len returns the number of buffered samples.
+func (r *PerfRingBuffer) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Lookup is unsupported on ring buffers and returns nil.
+func (r *PerfRingBuffer) Lookup(key []byte) []byte { return nil }
+
+// Update submits value as a sample (Map interface adapter).
+func (r *PerfRingBuffer) Update(key, value []byte) error {
+	r.Submit(value)
+	return nil
+}
+
+// Delete is unsupported on ring buffers.
+func (r *PerfRingBuffer) Delete(key []byte) bool { return false }
+
+// Submit copies data into the ring. If the ring is full the oldest sample
+// is overwritten and counted as dropped (paper §3.2: "the Collector's
+// buffer is bounded so that TS will overwrite samples if it is full").
+func (r *PerfRingBuffer) Submit(data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == r.capacity {
+		// Overwrite the oldest.
+		r.entries[r.head] = cp
+		r.head = (r.head + 1) % r.capacity
+		r.dropped++
+		r.submitted++
+		return
+	}
+	r.entries[(r.head+r.count)%r.capacity] = cp
+	r.count++
+	r.submitted++
+}
+
+// Drain removes and returns up to max samples in submission order. A max
+// of 0 or less drains everything.
+func (r *PerfRingBuffer) Drain(max int) [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.entries[r.head])
+		r.entries[r.head] = nil
+		r.head = (r.head + 1) % r.capacity
+	}
+	r.count -= n
+	return out
+}
+
+// Submitted returns the total number of Submit calls.
+func (r *PerfRingBuffer) Submitted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.submitted
+}
+
+// Dropped returns the number of samples lost to overwrites.
+func (r *PerfRingBuffer) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset clears the buffer and its statistics.
+func (r *PerfRingBuffer) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = make([][]byte, r.capacity)
+	r.head, r.count = 0, 0
+	r.submitted, r.dropped = 0, 0
+}

@@ -1,0 +1,567 @@
+package bpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVerification wraps all verifier rejections.
+var ErrVerification = errors.New("bpf: verification failed")
+
+func verr(pc int, format string, args ...any) error {
+	return fmt.Errorf("%w: insn %d: %s", ErrVerification, pc, fmt.Sprintf(format, args...))
+}
+
+// The verifier performs abstract interpretation over the program's CFG,
+// mirroring the guarantees the paper leans on (§2.3, §5.1): bounded length,
+// no unreachable instructions, loops only with compile-time bounds, no
+// dynamic allocation outside maps, pointer access restricted to a safe API
+// (in-bounds stack and map-value memory, null-checked map lookups), and
+// helper calls checked against typed signatures.
+
+type regKind uint8
+
+const (
+	rkUninit regKind = iota
+	rkScalar
+	rkPtrStack
+	rkPtrMapValue
+	rkPtrMapValueOrNull
+	rkConstMap
+)
+
+func (k regKind) String() string {
+	switch k {
+	case rkUninit:
+		return "uninit"
+	case rkScalar:
+		return "scalar"
+	case rkPtrStack:
+		return "stack-ptr"
+	case rkPtrMapValue:
+		return "map-value-ptr"
+	case rkPtrMapValueOrNull:
+		return "map-value-or-null"
+	case rkConstMap:
+		return "map-handle"
+	}
+	return "?"
+}
+
+type regState struct {
+	kind   regKind
+	mapIdx int32
+	off    int64 // stack: offset rel. R10 (<=0); map value: offset into value
+	known  bool  // scalar constant known
+	val    int64
+}
+
+type absState struct {
+	regs      [numRegs]regState
+	stackInit [StackSize]bool
+	valid     bool
+}
+
+func entryState() absState {
+	var s absState
+	s.valid = true
+	s.regs[R10] = regState{kind: rkPtrStack, off: 0}
+	return s
+}
+
+func joinReg(a, b regState) regState {
+	if a.kind != b.kind || a.mapIdx != b.mapIdx || (a.kind != rkScalar && a.off != b.off) {
+		if a.kind != b.kind || a.mapIdx != b.mapIdx {
+			return regState{kind: rkUninit}
+		}
+		return regState{kind: rkUninit}
+	}
+	out := a
+	if a.kind == rkScalar {
+		if !a.known || !b.known || a.val != b.val {
+			out.known = false
+			out.val = 0
+		}
+	}
+	return out
+}
+
+// join merges b into a, reporting whether a changed.
+func (a *absState) join(b *absState) bool {
+	if !a.valid {
+		*a = *b
+		return true
+	}
+	changed := false
+	for i := range a.regs {
+		merged := joinReg(a.regs[i], b.regs[i])
+		if merged != a.regs[i] {
+			a.regs[i] = merged
+			changed = true
+		}
+	}
+	for i := range a.stackInit {
+		if a.stackInit[i] && !b.stackInit[i] {
+			a.stackInit[i] = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Verify statically checks a program. maxInsns of 0 uses DefaultMaxInsns.
+func Verify(p *Program, maxInsns int) error {
+	if maxInsns <= 0 {
+		maxInsns = DefaultMaxInsns
+	}
+	n := len(p.Insns)
+	if n == 0 {
+		return fmt.Errorf("%w: empty program", ErrVerification)
+	}
+	if n > maxInsns {
+		return fmt.Errorf("%w: program has %d instructions, limit %d", ErrVerification, n, maxInsns)
+	}
+
+	// Structural pass: opcode validity, jump targets, loop bounds.
+	for pc, in := range p.Insns {
+		if in.Op == OpInvalid || opNames[in.Op] == "" {
+			return verr(pc, "invalid opcode %d", in.Op)
+		}
+		if in.Dst >= numRegs || in.Src >= numRegs {
+			return verr(pc, "register out of range")
+		}
+		if isJump(in.Op) {
+			tgt := pc + 1 + int(in.Off)
+			if tgt < 0 || tgt >= n {
+				return verr(pc, "jump target %d out of range", tgt)
+			}
+			if tgt <= pc && in.LoopBound <= 0 {
+				return verr(pc, "backward jump without a compile-time loop bound")
+			}
+		}
+		switch in.Op {
+		case OpDivImm, OpModImm:
+			if in.Imm == 0 {
+				return verr(pc, "division by constant zero")
+			}
+		case OpLshImm, OpRshImm:
+			if in.Imm < 0 || in.Imm >= 64 {
+				return verr(pc, "shift amount %d out of range", in.Imm)
+			}
+		case OpLoadMapPtr:
+			if in.Imm < 0 || in.Imm >= int64(len(p.Maps)) {
+				return verr(pc, "map index %d out of range (have %d maps)", in.Imm, len(p.Maps))
+			}
+		case OpCall:
+			if _, ok := HelperByID(in.Imm); !ok {
+				return verr(pc, "unknown helper %d", in.Imm)
+			}
+		}
+		// Fall-through off the end of the program.
+		if pc == n-1 && in.Op != OpExit && in.Op != OpJa {
+			return verr(pc, "control flow falls off the end of the program")
+		}
+		if isCondJump(in.Op) && pc == n-1 {
+			return verr(pc, "conditional jump cannot be the last instruction")
+		}
+	}
+
+	// Reachability from instruction 0.
+	reach := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[pc] {
+			continue
+		}
+		reach[pc] = true
+		in := p.Insns[pc]
+		switch {
+		case in.Op == OpExit:
+		case in.Op == OpJa:
+			stack = append(stack, pc+1+int(in.Off))
+		case isCondJump(in.Op):
+			stack = append(stack, pc+1, pc+1+int(in.Off))
+		default:
+			stack = append(stack, pc+1)
+		}
+	}
+	for pc := range reach {
+		if !reach[pc] {
+			return verr(pc, "unreachable instruction")
+		}
+	}
+
+	// Abstract interpretation to a fixpoint.
+	states := make([]absState, n)
+	states[0] = entryState()
+	work := []int{0}
+	steps := 0
+	for len(work) > 0 {
+		steps++
+		if steps > n*64 {
+			return fmt.Errorf("%w: abstract interpretation did not converge", ErrVerification)
+		}
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		outs, err := step(p, pc, states[pc])
+		if err != nil {
+			return err
+		}
+		for _, o := range outs {
+			if states[o.pc].join(&o.state) {
+				work = append(work, o.pc)
+			}
+		}
+	}
+	return nil
+}
+
+type succ struct {
+	pc    int
+	state absState
+}
+
+func requireInit(pc int, s *absState, r Reg, what string) error {
+	if s.regs[r].kind == rkUninit {
+		return verr(pc, "%s uses uninitialized r%d", what, r)
+	}
+	return nil
+}
+
+func checkStackAccess(pc int, s *absState, base regState, off int32, size int, write bool) error {
+	a := base.off + int64(off)
+	if a < -StackSize || a+int64(size) > 0 {
+		return verr(pc, "stack access at offset %d size %d out of bounds", a, size)
+	}
+	idx := int(a + StackSize)
+	if write {
+		for i := 0; i < size; i++ {
+			s.stackInit[idx+i] = true
+		}
+		return nil
+	}
+	for i := 0; i < size; i++ {
+		if !s.stackInit[idx+i] {
+			return verr(pc, "read of uninitialized stack byte at offset %d", a+int64(i))
+		}
+	}
+	return nil
+}
+
+func checkMapValueAccess(p *Program, pc int, base regState, off int32, size int) error {
+	if base.kind == rkPtrMapValueOrNull {
+		return verr(pc, "possibly-NULL map value dereference (missing null check)")
+	}
+	vs := int64(p.Maps[base.mapIdx].ValueSize())
+	a := base.off + int64(off)
+	if a < 0 || a+int64(size) > vs {
+		return verr(pc, "map value access at offset %d size %d outside value size %d", a, size, vs)
+	}
+	return nil
+}
+
+func step(p *Program, pc int, in absState) ([]succ, error) {
+	s := in
+	insn := p.Insns[pc]
+	next := func() []succ { return []succ{{pc + 1, s}} }
+
+	switch {
+	case insn.Op == OpExit:
+		if s.regs[R0].kind != rkScalar {
+			return nil, verr(pc, "exit with R0 %s (must be scalar)", s.regs[R0].kind)
+		}
+		return nil, nil
+
+	case insn.Op == OpMovImm:
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		s.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: insn.Imm}
+		return next(), nil
+
+	case insn.Op == OpMovReg:
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		if err := requireInit(pc, &s, insn.Src, "mov"); err != nil {
+			return nil, err
+		}
+		s.regs[insn.Dst] = s.regs[insn.Src]
+		return next(), nil
+
+	case insn.Op == OpNeg:
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		if err := requireInit(pc, &s, insn.Dst, "neg"); err != nil {
+			return nil, err
+		}
+		if s.regs[insn.Dst].kind != rkScalar {
+			return nil, verr(pc, "neg on %s", s.regs[insn.Dst].kind)
+		}
+		r := s.regs[insn.Dst]
+		if r.known {
+			r.val = -r.val
+		}
+		s.regs[insn.Dst] = r
+		return next(), nil
+
+	case isALU(insn.Op):
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		if err := requireInit(pc, &s, insn.Dst, "alu"); err != nil {
+			return nil, err
+		}
+		var src regState
+		if isRegSrc(insn.Op) {
+			if err := requireInit(pc, &s, insn.Src, "alu"); err != nil {
+				return nil, err
+			}
+			src = s.regs[insn.Src]
+		} else {
+			src = regState{kind: rkScalar, known: true, val: insn.Imm}
+		}
+		dst := s.regs[insn.Dst]
+		// Pointer arithmetic: only ptr +/- known scalar.
+		if dst.kind == rkPtrStack || dst.kind == rkPtrMapValue {
+			switch insn.Op {
+			case OpAddImm, OpAddReg, OpSubImm, OpSubReg:
+				if src.kind != rkScalar || !src.known {
+					return nil, verr(pc, "pointer arithmetic with unknown scalar")
+				}
+				d := src.val
+				if insn.Op == OpSubImm || insn.Op == OpSubReg {
+					d = -d
+				}
+				dst.off += d
+				s.regs[insn.Dst] = dst
+				return next(), nil
+			default:
+				return nil, verr(pc, "forbidden ALU op on pointer")
+			}
+		}
+		if dst.kind != rkScalar {
+			return nil, verr(pc, "alu on %s", dst.kind)
+		}
+		if src.kind != rkScalar {
+			return nil, verr(pc, "alu with %s source", src.kind)
+		}
+		if (insn.Op == OpDivReg || insn.Op == OpModReg) && src.known && src.val == 0 {
+			return nil, verr(pc, "division by known-zero register")
+		}
+		out := regState{kind: rkScalar}
+		if dst.known && src.known {
+			out.known = true
+			out.val = evalALU(insn.Op, dst.val, src.val)
+		}
+		s.regs[insn.Dst] = out
+		return next(), nil
+
+	case insn.Op == OpLoadMapPtr:
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		s.regs[insn.Dst] = regState{kind: rkConstMap, mapIdx: int32(insn.Imm)}
+		return next(), nil
+
+	case insn.Op == OpLoad:
+		if insn.Dst == R10 {
+			return nil, verr(pc, "write to frame pointer r10")
+		}
+		base := s.regs[insn.Src]
+		switch base.kind {
+		case rkPtrStack:
+			if err := checkStackAccess(pc, &s, base, insn.Off, 8, false); err != nil {
+				return nil, err
+			}
+		case rkPtrMapValue, rkPtrMapValueOrNull:
+			if err := checkMapValueAccess(p, pc, base, insn.Off, 8); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, verr(pc, "load through %s", base.kind)
+		}
+		s.regs[insn.Dst] = regState{kind: rkScalar}
+		return next(), nil
+
+	case insn.Op == OpStore, insn.Op == OpStoreImm:
+		base := s.regs[insn.Dst]
+		if insn.Op == OpStore {
+			if err := requireInit(pc, &s, insn.Src, "store"); err != nil {
+				return nil, err
+			}
+			if s.regs[insn.Src].kind != rkScalar {
+				return nil, verr(pc, "storing %s to memory (pointer leak)", s.regs[insn.Src].kind)
+			}
+		}
+		switch base.kind {
+		case rkPtrStack:
+			if err := checkStackAccess(pc, &s, base, insn.Off, 8, true); err != nil {
+				return nil, err
+			}
+		case rkPtrMapValue, rkPtrMapValueOrNull:
+			if err := checkMapValueAccess(p, pc, base, insn.Off, 8); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, verr(pc, "store through %s", base.kind)
+		}
+		return next(), nil
+
+	case insn.Op == OpJa:
+		return []succ{{pc + 1 + int(insn.Off), s}}, nil
+
+	case isCondJump(insn.Op):
+		if err := requireInit(pc, &s, insn.Dst, "jump"); err != nil {
+			return nil, err
+		}
+		if isRegSrc(insn.Op) {
+			if err := requireInit(pc, &s, insn.Src, "jump"); err != nil {
+				return nil, err
+			}
+			if s.regs[insn.Src].kind != rkScalar || s.regs[insn.Dst].kind != rkScalar {
+				return nil, verr(pc, "register compare on non-scalars")
+			}
+		}
+		taken := s
+		fall := s
+		d := s.regs[insn.Dst]
+		// Null-check refinement for map-lookup results.
+		if d.kind == rkPtrMapValueOrNull && !isRegSrc(insn.Op) && insn.Imm == 0 {
+			switch insn.Op {
+			case OpJeqImm: // taken => ptr == 0 => NULL; fallthrough => non-null
+				taken.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: 0}
+				fall.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, off: d.off}
+			case OpJneImm: // taken => non-null
+				taken.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, off: d.off}
+				fall.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: 0}
+			default:
+				return nil, verr(pc, "map value pointer compared with non-equality op before null check")
+			}
+		} else if d.kind != rkScalar {
+			return nil, verr(pc, "conditional jump on %s", d.kind)
+		}
+		return []succ{{pc + 1 + int(insn.Off), taken}, {pc + 1, fall}}, nil
+
+	case insn.Op == OpCall:
+		spec, _ := HelperByID(insn.Imm)
+		argRegs := []Reg{R1, R2, R3, R4, R5}
+		var constMap int32 = -1
+		var sizedPtr regState
+		sizedPtrSeen := false
+		for i, kind := range spec.Args {
+			r := argRegs[i]
+			if err := requireInit(pc, &s, r, spec.Name); err != nil {
+				return nil, err
+			}
+			a := s.regs[r]
+			switch kind {
+			case ArgScalar:
+				if a.kind != rkScalar {
+					return nil, verr(pc, "%s arg %d must be scalar, got %s", spec.Name, i+1, a.kind)
+				}
+			case ArgConstMap:
+				if a.kind != rkConstMap {
+					return nil, verr(pc, "%s arg %d must be a map handle, got %s", spec.Name, i+1, a.kind)
+				}
+				constMap = a.mapIdx
+			case ArgPtrKey, ArgPtrValue:
+				if constMap < 0 {
+					return nil, verr(pc, "%s arg %d: no preceding map handle", spec.Name, i+1)
+				}
+				size := p.Maps[constMap].KeySize()
+				if kind == ArgPtrValue {
+					size = p.Maps[constMap].ValueSize()
+				}
+				if size == 0 {
+					break // keyless map; argument ignored
+				}
+				if a.kind != rkPtrStack {
+					return nil, verr(pc, "%s arg %d must be a stack pointer, got %s", spec.Name, i+1, a.kind)
+				}
+				// Map update/push read the buffer; pop writes it. Treat
+				// all as requiring bounds; reads additionally require
+				// initialized bytes, and helpers may write, so mark
+				// initialized afterwards.
+				write := insn.Imm == HelperStackPop
+				if err := checkStackAccess(pc, &s, a, 0, size, write); err != nil {
+					return nil, err
+				}
+				if !write {
+					if err := checkStackAccess(pc, &s, a, 0, size, false); err != nil {
+						return nil, err
+					}
+				} else {
+					// already marked initialized by the write check
+					_ = write
+				}
+			case ArgPtrSized:
+				if a.kind != rkPtrStack {
+					return nil, verr(pc, "%s arg %d must be a stack pointer, got %s", spec.Name, i+1, a.kind)
+				}
+				sizedPtr = a
+				sizedPtrSeen = true
+			case ArgSizeConst:
+				if a.kind != rkScalar || !a.known || a.val <= 0 {
+					return nil, verr(pc, "%s arg %d must be a known positive constant size", spec.Name, i+1)
+				}
+				if !sizedPtrSeen {
+					return nil, verr(pc, "%s arg %d: size without preceding pointer", spec.Name, i+1)
+				}
+				if err := checkStackAccess(pc, &s, sizedPtr, 0, int(a.val), false); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Helper calls clobber caller-saved registers.
+		for _, r := range argRegs {
+			s.regs[r] = regState{kind: rkUninit}
+		}
+		switch spec.Ret {
+		case RetMapValueOrNull:
+			if constMap < 0 {
+				return nil, verr(pc, "%s returns map value but has no map arg", spec.Name)
+			}
+			s.regs[R0] = regState{kind: rkPtrMapValueOrNull, mapIdx: constMap}
+		default:
+			s.regs[R0] = regState{kind: rkScalar}
+		}
+		return next(), nil
+	}
+	return nil, verr(pc, "unhandled opcode %v", insn.Op)
+}
+
+func evalALU(op Op, a, b int64) int64 {
+	switch op {
+	case OpAddImm, OpAddReg:
+		return a + b
+	case OpSubImm, OpSubReg:
+		return a - b
+	case OpMulImm, OpMulReg:
+		return a * b
+	case OpDivImm, OpDivReg:
+		if b == 0 {
+			return 0
+		}
+		return int64(uint64(a) / uint64(b))
+	case OpModImm, OpModReg:
+		if b == 0 {
+			return 0
+		}
+		return int64(uint64(a) % uint64(b))
+	case OpAndImm, OpAndReg:
+		return a & b
+	case OpOrImm, OpOrReg:
+		return a | b
+	case OpXorImm, OpXorReg:
+		return a ^ b
+	case OpLshImm, OpLshReg:
+		return int64(uint64(a) << (uint64(b) & 63))
+	case OpRshImm, OpRshReg:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	}
+	return 0
+}

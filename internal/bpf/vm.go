@@ -1,0 +1,424 @@
+package bpf
+
+import (
+	"errors"
+	"fmt"
+
+	"tscout/internal/kernel"
+)
+
+// Runtime errors. After successful verification these indicate a verifier
+// bug, not a program bug; the kernel kills the program either way.
+var (
+	ErrRuntime      = errors.New("bpf: runtime fault")
+	ErrInsnBudget   = errors.New("bpf: instruction budget exhausted")
+	ErrNotPerfArray = errors.New("bpf: perf_event_output on non-perf map")
+)
+
+// RuntimeInsnBudget caps executed (not static) instructions per invocation,
+// the runtime backstop behind the verifier's bounded-loop rule.
+const RuntimeInsnBudget = 1 << 20
+
+// Pointer encoding inside 64-bit registers: bit 63 tags memory pointers
+// (object id in bits 62..32, byte address in bits 31..0); bit 62 together
+// with bit 63 tags map handles (map index in low bits). The verifier
+// guarantees programs never forge or leak these values.
+const (
+	ptrTag    = uint64(1) << 63
+	mapTagBit = uint64(1) << 62
+	mapTag    = ptrTag | mapTagBit
+)
+
+func mkPtr(obj uint32, addr uint32) uint64 {
+	return ptrTag | uint64(obj&0x3fffffff)<<32 | uint64(addr)
+}
+
+func isPtr(v uint64) bool { return v&ptrTag != 0 && v&mapTagBit == 0 }
+func isMapHandle(v uint64) bool {
+	return v&mapTag == mapTag
+}
+func ptrObj(v uint64) uint32  { return uint32(v>>32) & 0x3fffffff }
+func ptrAddr(v uint64) uint32 { return uint32(v) }
+
+// LoadedProgram is a verified program ready to attach and run.
+type LoadedProgram struct {
+	prog *Program
+	// Printk collects HelperTracePrintk values for debugging tests.
+	Printk []uint64
+	// Runs counts invocations.
+	Runs int64
+}
+
+// Load verifies p and returns an executable handle. maxInsns of 0 uses
+// DefaultMaxInsns. This is the moment the real kernel would also JIT the
+// bytecode; the simulator interprets instead and charges per-instruction
+// virtual time.
+func Load(p *Program, maxInsns int) (*LoadedProgram, error) {
+	if err := Verify(p, maxInsns); err != nil {
+		return nil, err
+	}
+	return &LoadedProgram{prog: p}, nil
+}
+
+// Program returns the underlying program.
+func (lp *LoadedProgram) Program() *Program { return lp.prog }
+
+// Attach installs the program on a kernel tracepoint. Each hit pays one
+// mode switch (charged by the kernel) plus the program's execution cost.
+func (lp *LoadedProgram) Attach(tp *kernel.Tracepoint) {
+	tp.Attach(func(t *kernel.Task, args []uint64) int64 {
+		_, cost, _ := lp.Run(t, args)
+		return cost
+	})
+}
+
+type execState struct {
+	regs    [numRegs]uint64
+	stack   [StackSize]byte
+	objects [][]byte // object 0 is unused; map-value objects registered at runtime
+	task    *kernel.Task
+	args    []uint64
+}
+
+func (ec *execState) registerObject(b []byte) uint64 {
+	ec.objects = append(ec.objects, b)
+	return mkPtr(uint32(len(ec.objects)-1)+1, 0)
+}
+
+func (ec *execState) mem(ptr uint64, off int32, size int) ([]byte, error) {
+	if !isPtr(ptr) {
+		return nil, fmt.Errorf("%w: dereference of non-pointer %#x", ErrRuntime, ptr)
+	}
+	obj := ptrObj(ptr)
+	addr := int64(ptrAddr(ptr)) + int64(off)
+	var buf []byte
+	if obj == 0 {
+		buf = ec.stack[:]
+	} else {
+		i := int(obj) - 1
+		if i >= len(ec.objects) {
+			return nil, fmt.Errorf("%w: dangling object %d", ErrRuntime, obj)
+		}
+		buf = ec.objects[i]
+	}
+	if addr < 0 || addr+int64(size) > int64(len(buf)) {
+		return nil, fmt.Errorf("%w: access at %d size %d outside object of %d bytes", ErrRuntime, addr, size, len(buf))
+	}
+	return buf[addr : addr+int64(size)], nil
+}
+
+// Run executes the program for task with the given tracepoint arguments.
+// It returns R0, the virtual-time cost of the execution (instruction count
+// times the profile's per-instruction cost, plus helper costs), and any
+// runtime fault.
+func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, error) {
+	lp.Runs++
+	p := lp.prog
+	profile := &task.Kernel().Profile
+	ec := &execState{task: task, args: args}
+	ec.regs[R10] = mkPtr(0, StackSize)
+
+	executed := 0
+	var helperNS int64
+	pc := 0
+	for {
+		if executed >= RuntimeInsnBudget {
+			return 0, cost(executed, helperNS, profile.BPFInsnNS), ErrInsnBudget
+		}
+		executed++
+		in := p.Insns[pc]
+		switch {
+		case in.Op == OpExit:
+			return ec.regs[R0], cost(executed, helperNS, profile.BPFInsnNS), nil
+
+		case in.Op == OpMovImm:
+			ec.regs[in.Dst] = uint64(in.Imm)
+			pc++
+		case in.Op == OpMovReg:
+			ec.regs[in.Dst] = ec.regs[in.Src]
+			pc++
+		case in.Op == OpNeg:
+			ec.regs[in.Dst] = uint64(-int64(ec.regs[in.Dst]))
+			pc++
+		case isALU(in.Op):
+			var src uint64
+			if isRegSrc(in.Op) {
+				src = ec.regs[in.Src]
+			} else {
+				src = uint64(in.Imm)
+			}
+			dst := ec.regs[in.Dst]
+			if isPtr(dst) {
+				// Pointer arithmetic (verified to be add/sub const).
+				delta := int64(src)
+				if in.Op == OpSubImm || in.Op == OpSubReg {
+					delta = -delta
+				}
+				ec.regs[in.Dst] = mkPtr(ptrObj(dst), uint32(int64(ptrAddr(dst))+delta))
+			} else {
+				ec.regs[in.Dst] = uint64(evalALU(in.Op, int64(dst), int64(src)))
+			}
+			pc++
+
+		case in.Op == OpLoadMapPtr:
+			ec.regs[in.Dst] = mapTag | uint64(in.Imm)
+			pc++
+
+		case in.Op == OpLoad:
+			b, err := ec.mem(ec.regs[in.Src], in.Off, 8)
+			if err != nil {
+				return 0, cost(executed, helperNS, profile.BPFInsnNS), err
+			}
+			ec.regs[in.Dst] = U64(b)
+			pc++
+		case in.Op == OpStore, in.Op == OpStoreImm:
+			b, err := ec.mem(ec.regs[in.Dst], in.Off, 8)
+			if err != nil {
+				return 0, cost(executed, helperNS, profile.BPFInsnNS), err
+			}
+			if in.Op == OpStore {
+				PutU64(b, ec.regs[in.Src])
+			} else {
+				PutU64(b, uint64(in.Imm))
+			}
+			pc++
+
+		case in.Op == OpJa:
+			pc += 1 + int(in.Off)
+		case isCondJump(in.Op):
+			var b uint64
+			if isRegSrc(in.Op) {
+				b = ec.regs[in.Src]
+			} else {
+				b = uint64(in.Imm)
+			}
+			if condTrue(in.Op, ec.regs[in.Dst], b) {
+				pc += 1 + int(in.Off)
+			} else {
+				pc++
+			}
+
+		case in.Op == OpCall:
+			ns, err := lp.call(ec, in.Imm)
+			helperNS += ns
+			if err != nil {
+				return 0, cost(executed, helperNS, profile.BPFInsnNS), err
+			}
+			pc++
+		default:
+			return 0, cost(executed, helperNS, profile.BPFInsnNS), fmt.Errorf("%w: bad opcode at %d", ErrRuntime, pc)
+		}
+	}
+}
+
+func cost(insns int, helperNS int64, insnNS float64) int64 {
+	return int64(float64(insns)*insnNS) + helperNS
+}
+
+func condTrue(op Op, a, b uint64) bool {
+	switch op {
+	case OpJeqImm, OpJeqReg:
+		return a == b
+	case OpJneImm, OpJneReg:
+		return a != b
+	case OpJgtImm, OpJgtReg:
+		return a > b
+	case OpJgeImm, OpJgeReg:
+		return a >= b
+	case OpJltImm, OpJltReg:
+		return a < b
+	case OpJleImm, OpJleReg:
+		return a <= b
+	case OpJsetImm:
+		return a&b != 0
+	}
+	return false
+}
+
+// perfScale is the fixed-point scale used for counter enabled/running
+// times so generated code can normalize with integer math.
+const perfScale = 1024
+
+func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
+	spec, _ := HelperByID(id)
+	maps := lp.prog.Maps
+	getMap := func(r Reg) (Map, error) {
+		v := ec.regs[r]
+		if !isMapHandle(v) {
+			return nil, fmt.Errorf("%w: %s: r%d is not a map handle", ErrRuntime, spec.Name, r)
+		}
+		idx := int(v &^ mapTag)
+		if idx >= len(maps) {
+			return nil, fmt.Errorf("%w: %s: map index %d out of range", ErrRuntime, spec.Name, idx)
+		}
+		return maps[idx], nil
+	}
+	stackBytes := func(r Reg, size int) ([]byte, error) {
+		if size == 0 {
+			return nil, nil
+		}
+		return ec.mem(ec.regs[r], 0, size)
+	}
+
+	switch id {
+	case HelperMapLookup:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		key, err := stackBytes(R2, m.KeySize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		v := m.Lookup(key)
+		if v == nil {
+			ec.regs[R0] = 0
+		} else {
+			ec.regs[R0] = ec.registerObject(v)
+		}
+	case HelperMapUpdate:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		key, err := stackBytes(R2, m.KeySize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		val, err := stackBytes(R3, m.ValueSize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		if uerr := m.Update(key, val); uerr != nil {
+			ec.regs[R0] = ^uint64(0) // -1
+		} else {
+			ec.regs[R0] = 0
+		}
+	case HelperMapDelete:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		key, err := stackBytes(R2, m.KeySize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		if m.Delete(key) {
+			ec.regs[R0] = 1
+		} else {
+			ec.regs[R0] = 0
+		}
+	case HelperStackPush:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		sm, ok := m.(*StackMap)
+		if !ok {
+			return spec.CostNS, fmt.Errorf("%w: stack_push on non-stack map", ErrRuntime)
+		}
+		val, err := stackBytes(R2, sm.ValueSize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		if perr := sm.Push(val); perr != nil {
+			ec.regs[R0] = ^uint64(0)
+		} else {
+			ec.regs[R0] = 0
+		}
+	case HelperStackPop:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		sm, ok := m.(*StackMap)
+		if !ok {
+			return spec.CostNS, fmt.Errorf("%w: stack_pop on non-stack map", ErrRuntime)
+		}
+		dst, err := stackBytes(R2, sm.ValueSize())
+		if err != nil {
+			return spec.CostNS, err
+		}
+		v, perr := sm.Pop()
+		if perr != nil {
+			ec.regs[R0] = 1
+		} else {
+			copy(dst, v)
+			ec.regs[R0] = 0
+		}
+	case HelperPerfOutput:
+		m, err := getMap(R1)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		rb, ok := m.(*PerfRingBuffer)
+		if !ok {
+			return spec.CostNS, ErrNotPerfArray
+		}
+		size := int(ec.regs[R3])
+		data, err := stackBytes(R2, size)
+		if err != nil {
+			return spec.CostNS, err
+		}
+		rb.Submit(data)
+		ec.regs[R0] = 0
+		// Copy cost scales with sample size.
+		return spec.CostNS + int64(size/16), nil
+	case HelperReadCounter:
+		c := kernel.Counter(ec.regs[R1])
+		r := ec.task.Perf().Read(c)
+		switch ec.regs[R2] {
+		case CounterPartRaw:
+			ec.regs[R0] = uint64(r.Raw)
+		case CounterPartEnabled:
+			ec.regs[R0] = uint64(r.TimeEnabled * perfScale)
+		case CounterPartRunning:
+			ec.regs[R0] = uint64(r.TimeRunning * perfScale)
+		default:
+			ec.regs[R0] = 0
+		}
+	case HelperReadIOAC:
+		switch ec.regs[R1] {
+		case IOACReadBytes:
+			ec.regs[R0] = uint64(ec.task.IOAC.ReadBytes)
+		case IOACWriteBytes:
+			ec.regs[R0] = uint64(ec.task.IOAC.WriteBytes)
+		case IOACReadOps:
+			ec.regs[R0] = uint64(ec.task.IOAC.ReadOps)
+		case IOACWriteOps:
+			ec.regs[R0] = uint64(ec.task.IOAC.WriteOps)
+		default:
+			ec.regs[R0] = 0
+		}
+	case HelperReadSock:
+		switch ec.regs[R1] {
+		case SockBytesReceived:
+			ec.regs[R0] = uint64(ec.task.Sock.BytesReceived)
+		case SockBytesSent:
+			ec.regs[R0] = uint64(ec.task.Sock.BytesSent)
+		case SockSegsIn:
+			ec.regs[R0] = uint64(ec.task.Sock.SegsIn)
+		case SockSegsOut:
+			ec.regs[R0] = uint64(ec.task.Sock.SegsOut)
+		default:
+			ec.regs[R0] = 0
+		}
+	case HelperGetPID:
+		ec.regs[R0] = uint64(ec.task.PID)
+	case HelperKtime:
+		ec.regs[R0] = uint64(ec.task.Now())
+	case HelperGetArg:
+		i := int(ec.regs[R1])
+		if i >= 0 && i < len(ec.args) {
+			ec.regs[R0] = ec.args[i]
+		} else {
+			ec.regs[R0] = 0
+		}
+	case HelperTracePrintk:
+		lp.Printk = append(lp.Printk, ec.regs[R1])
+		ec.regs[R0] = 0
+	default:
+		return 0, fmt.Errorf("%w: unknown helper %d", ErrRuntime, id)
+	}
+	return spec.CostNS, nil
+}

@@ -1,0 +1,138 @@
+package catalog
+
+import (
+	"testing"
+
+	"tscout/internal/storage"
+)
+
+func testCatalog(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New()
+	tbl, err := c.CreateTable("orders", storage.MustSchema(
+		storage.Column{Name: "w_id", Kind: storage.KindInt},
+		storage.Column{Name: "d_id", Kind: storage.KindInt},
+		storage.Column{Name: "o_id", Kind: storage.KindInt},
+		storage.Column{Name: "note", Kind: storage.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestCatalogTables(t *testing.T) {
+	c, _ := testCatalog(t)
+	if _, err := c.CreateTable("orders", nil); err == nil {
+		t.Fatalf("duplicate table must fail")
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatalf("unknown table must fail")
+	}
+	if names := c.TableNames(); len(names) != 1 || names[0] != "orders" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestBTreeIndexCompositeKeys(t *testing.T) {
+	c, tbl := testCatalog(t)
+	ix, err := c.CreateBTreeIndex("orders_pk", "orders",
+		[]string{"w_id", "d_id", "o_id"}, []uint{8, 8, 32}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowA := storage.Row{storage.NewInt(1), storage.NewInt(2), storage.NewInt(3), storage.NewString("")}
+	rowB := storage.Row{storage.NewInt(1), storage.NewInt(2), storage.NewInt(4), storage.NewString("")}
+	kA, kB := ix.KeyFor(rowA), ix.KeyFor(rowB)
+	if kA >= kB {
+		t.Fatalf("composite packing must preserve order: %d vs %d", kA, kB)
+	}
+	if got := ix.KeyForValues([]storage.Value{
+		storage.NewInt(1), storage.NewInt(2), storage.NewInt(3),
+	}); got != kA {
+		t.Fatalf("KeyForValues mismatch: %d vs %d", got, kA)
+	}
+	ix.Insert(kA, 100)
+	ix.Insert(kB, 200)
+	if got := ix.Search(kA); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("search: %v", got)
+	}
+	if tbl.IndexOn([]int{0, 1, 2}) != ix {
+		t.Fatalf("IndexOn exact match")
+	}
+	if tbl.IndexOn([]int{0, 1}) != ix {
+		t.Fatalf("IndexOn prefix match")
+	}
+	if tbl.IndexOn([]int{1}) != nil {
+		t.Fatalf("IndexOn non-prefix must miss")
+	}
+	if ix.Len() != 2 || ix.Height() < 1 {
+		t.Fatalf("metadata")
+	}
+	if !ix.Delete(kA, 100) || ix.Delete(kA, 100) {
+		t.Fatalf("delete")
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	c, _ := testCatalog(t)
+	ix, _ := c.CreateBTreeIndex("orders_pk", "orders",
+		[]string{"w_id", "d_id", "o_id"}, []uint{8, 8, 32}, true)
+	for o := int64(1); o <= 10; o++ {
+		key := ix.KeyForValues([]storage.Value{storage.NewInt(1), storage.NewInt(2), storage.NewInt(o)})
+		ix.Insert(key, storage.TupleID(o))
+	}
+	// A different district must not appear in the range.
+	other := ix.KeyForValues([]storage.Value{storage.NewInt(1), storage.NewInt(3), storage.NewInt(1)})
+	ix.Insert(other, storage.TupleID(99))
+
+	lo, hi := ix.PrefixRange([]storage.Value{storage.NewInt(1), storage.NewInt(2)})
+	var got []int64
+	ix.RangeSearch(lo, hi, func(k int64, tids []int64) bool {
+		got = append(got, tids...)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("prefix range: %v", got)
+	}
+	for i, tid := range got {
+		if tid != int64(i+1) {
+			t.Fatalf("order ids in order: %v", got)
+		}
+	}
+}
+
+func TestHashIndexStringsAndValidation(t *testing.T) {
+	c, _ := testCatalog(t)
+	ix, err := c.CreateHashIndex("orders_note", "orders", []string{"note"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row1 := storage.Row{storage.NewInt(1), storage.NewInt(1), storage.NewInt(1), storage.NewString("abc")}
+	row2 := storage.Row{storage.NewInt(1), storage.NewInt(1), storage.NewInt(2), storage.NewString("abc")}
+	k1, k2 := ix.KeyFor(row1), ix.KeyFor(row2)
+	if k1 != k2 {
+		t.Fatalf("same string must hash to same key")
+	}
+	if k1 < 0 {
+		t.Fatalf("hash keys must be non-negative")
+	}
+	ix.Insert(k1, 1)
+	ix.Insert(k2, 2)
+	if got := ix.Search(k1); len(got) != 2 {
+		t.Fatalf("postings: %v", got)
+	}
+	if ix.Height() != 1 {
+		t.Fatalf("hash height")
+	}
+
+	if _, err := c.CreateHashIndex("bad", "orders", []string{"zzz"}, false); err == nil {
+		t.Fatalf("unknown column must fail")
+	}
+	if _, err := c.CreateBTreeIndex("bad2", "orders", []string{"w_id"}, []uint{8, 8}, false); err == nil {
+		t.Fatalf("bits arity must fail")
+	}
+	if _, err := c.CreateHashIndex("bad3", "nope", []string{"x"}, false); err == nil {
+		t.Fatalf("unknown table must fail")
+	}
+}

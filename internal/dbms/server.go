@@ -1,0 +1,360 @@
+// Package dbms assembles the NoisePage-like database server from its
+// substrates — catalog, storage, MVCC transactions, group-commit WAL, SQL
+// front end, execution engine, and network protocol — and integrates the
+// TScout markers at every operating-unit boundary. It is the "annotated
+// DBMS" of the paper's Setup Phase.
+package dbms
+
+import (
+	"fmt"
+
+	"tscout/internal/catalog"
+	"tscout/internal/exec"
+	"tscout/internal/kernel"
+	"tscout/internal/network"
+	"tscout/internal/sim"
+	"tscout/internal/sql"
+	"tscout/internal/storage"
+	"tscout/internal/tscout"
+	"tscout/internal/txn"
+	"tscout/internal/wal"
+)
+
+// Networking and WAL OU identifiers (the execution engine's live in exec).
+const (
+	OUNetRead tscout.OUID = iota + 100
+	OUNetWrite
+	OULogSerializer
+	OUDiskWriter
+)
+
+// Config assembles one server.
+type Config struct {
+	// Profile is the simulated hardware; the zero value uses LargeHW.
+	Profile sim.HardwareProfile
+	// Seed drives all simulation noise; NoiseSigma is the relative
+	// measurement jitter (e.g. 0.03).
+	Seed       int64
+	NoiseSigma float64
+	// Instrument deploys TScout with the given collection mode.
+	Instrument bool
+	Mode       tscout.Mode
+	// RingCapacity overrides the perf ring buffer size (0 = default).
+	RingCapacity int
+	// DisableFeedback turns off the Processor's automatic sampling-rate
+	// reduction (useful for fixed-rate experiments).
+	DisableFeedback bool
+	// WAL tunes group commit.
+	WAL wal.Config
+	// FuseSimpleSelects enables the §5.2 fused pipeline path.
+	FuseSimpleSelects bool
+}
+
+// Server is one DBMS instance plus its TScout deployment.
+type Server struct {
+	Kernel  *kernel.Kernel
+	Catalog *catalog.Catalog
+	TxnMgr  *txn.Manager
+	WAL     *wal.Serializer
+	Engine  *exec.Engine
+	TS      *tscout.TScout // nil when uninstrumented
+
+	netRead  *tscout.Marker
+	netWrite *tscout.Marker
+
+	nextSession int
+}
+
+// NewServer builds and (if configured) instruments a server.
+func NewServer(cfg Config) (*Server, error) {
+	profile := cfg.Profile
+	if profile.Cores == 0 {
+		profile = sim.LargeHW
+	}
+	k := kernel.New(profile, cfg.Seed, cfg.NoiseSigma)
+	srv := &Server{
+		Kernel:  k,
+		Catalog: catalog.New(),
+		TxnMgr:  txn.NewManager(),
+	}
+
+	var ts *tscout.TScout
+	if cfg.Instrument {
+		ts = tscout.New(k, tscout.Config{
+			Mode: cfg.Mode, Seed: cfg.Seed, RingCapacity: cfg.RingCapacity,
+			DisableProcessorFeedback: cfg.DisableFeedback,
+		})
+	}
+	eng, err := exec.New(srv.Catalog, ts)
+	if err != nil {
+		return nil, err
+	}
+	eng.FuseSimpleSelects = cfg.FuseSimpleSelects
+	srv.Engine = eng
+
+	var serM, wrM *tscout.Marker
+	if ts != nil {
+		srv.netRead, err = ts.RegisterOU(tscout.OUDef{
+			ID: OUNetRead, Name: "net_read", Subsystem: tscout.SubsystemNetworking,
+			Features: []string{"packet_bytes", "num_messages"},
+		}, tscout.ResourceSet{CPU: true, Network: true})
+		if err != nil {
+			return nil, err
+		}
+		srv.netWrite, err = ts.RegisterOU(tscout.OUDef{
+			ID: OUNetWrite, Name: "net_write", Subsystem: tscout.SubsystemNetworking,
+			Features: []string{"response_bytes", "num_messages"},
+		}, tscout.ResourceSet{CPU: true, Network: true})
+		if err != nil {
+			return nil, err
+		}
+		serM, err = ts.RegisterOU(tscout.OUDef{
+			ID: OULogSerializer, Name: "log_serializer", Subsystem: tscout.SubsystemLogSerializer,
+			Features: []string{"num_records", "bytes", "num_txns"},
+		}, tscout.ResourceSet{CPU: true, Memory: true})
+		if err != nil {
+			return nil, err
+		}
+		wrM, err = ts.RegisterOU(tscout.OUDef{
+			ID: OUDiskWriter, Name: "disk_writer", Subsystem: tscout.SubsystemDiskWriter,
+			Features: []string{"bytes", "num_records"},
+		}, tscout.ResourceSet{CPU: true, Disk: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := ts.Deploy(); err != nil {
+			return nil, err
+		}
+		srv.TS = ts
+	}
+	srv.WAL = wal.New(k, ts, serM, wrM, cfg.WAL)
+	return srv, nil
+}
+
+// Session is one client connection with its own worker task and
+// (optionally) an open transaction spanning multiple statements.
+type Session struct {
+	srv  *Server
+	Task *kernel.Task
+	tx   *txn.Txn
+	// ExternalCollect emulates EXPLAIN-based external feature collection
+	// (§2.2): every statement pays an extra planning round.
+	ExternalCollect bool
+}
+
+// NewSession opens a connection.
+func (s *Server) NewSession() *Session {
+	s.nextSession++
+	return &Session{
+		srv:  s,
+		Task: s.Kernel.NewTask(fmt.Sprintf("worker-%d", s.nextSession)),
+	}
+}
+
+// PacketResult is the outcome of one client packet.
+type PacketResult struct {
+	// Results holds per-statement results (nil entries for statements
+	// that did not run because an earlier one failed).
+	Results []*exec.Result
+	// Response is the encoded wire response.
+	Response []byte
+	// Commit is the WAL group-commit handle for a writing transaction
+	// (nil for read-only or aborted ones). The caller must wait for
+	// Commit.Resolved before treating the transaction as durable.
+	Commit *wal.Commit
+	// Aborted reports a transaction rollback (e.g. write conflict).
+	Aborted bool
+	// Err is the statement error that caused the abort, if any.
+	Err error
+}
+
+// SubmitPacket processes one client packet: the networking read OU parses
+// the protocol messages, each SQL statement executes inside one
+// transaction, the commit's redo records enter the group-commit WAL, and
+// the networking write OU emits the response.
+func (se *Session) SubmitPacket(packet []byte) *PacketResult {
+	srv := se.srv
+	task := se.Task
+	pr := &PacketResult{}
+
+	// --- Networking read OU -------------------------------------------
+	if srv.TS != nil {
+		srv.TS.BeginEvent(task, tscout.SubsystemNetworking)
+	}
+	if srv.netRead != nil {
+		srv.netRead.Begin(task)
+	}
+	msgs, derr := network.Decode(packet)
+	var stmts []sql.Statement
+	if derr == nil {
+		for _, m := range msgs {
+			if m.Type != network.MsgQuery {
+				derr = fmt.Errorf("dbms: unexpected message type %q", m.Type)
+				break
+			}
+			st, perr := sql.Parse(string(m.Payload))
+			if perr != nil {
+				derr = perr
+				break
+			}
+			stmts = append(stmts, st)
+		}
+	}
+	task.Charge(sim.Work{
+		Instructions:    350 + 2.4*float64(len(packet)) + 420*float64(len(msgs)),
+		BytesTouched:    2 * float64(len(packet)),
+		WorkingSetBytes: float64(len(packet)) + 4096,
+		NetRecvBytes:    int64(len(packet)),
+		NetMessages:     int64(len(msgs)),
+		AllocBytes:      int64(len(packet)),
+	})
+	if srv.netRead != nil {
+		srv.netRead.End(task)
+		srv.netRead.Features(task, int64(len(packet)),
+			uint64(len(packet)), uint64(len(msgs)))
+	}
+	if derr != nil {
+		pr.Err = derr
+		pr.Aborted = true
+		pr.Response = se.respond(network.Message{Type: network.MsgError, Payload: []byte(derr.Error())})
+		return pr
+	}
+
+	// --- Execute the statements in one transaction --------------------
+	tx := srv.TxnMgr.Begin()
+	if srv.TS != nil {
+		srv.TS.BeginEvent(task, tscout.SubsystemExecutionEngine)
+	}
+	var respMsgs []network.Message
+	for _, st := range stmts {
+		res, err := srv.Engine.Execute(&exec.Ctx{Task: task, Txn: tx}, st, nil)
+		if err != nil {
+			_ = tx.Abort()
+			pr.Err = err
+			pr.Aborted = true
+			respMsgs = append(respMsgs, network.Message{Type: network.MsgError, Payload: []byte(err.Error())})
+			pr.Response = se.respond(respMsgs...)
+			return pr
+		}
+		pr.Results = append(pr.Results, res)
+		respMsgs = append(respMsgs, encodeResult(res))
+	}
+	writes := tx.Writes()
+	if _, err := tx.Commit(); err != nil {
+		pr.Err = err
+		pr.Aborted = true
+		pr.Response = se.respond(network.Message{Type: network.MsgError, Payload: []byte(err.Error())})
+		return pr
+	}
+
+	// --- WAL group commit ----------------------------------------------
+	if len(writes) > 0 {
+		records := make([]wal.Record, 0, len(writes)+1)
+		for _, w := range writes {
+			records = append(records, wal.Record{
+				Kind:  recordKind(w.Kind),
+				TxnID: tx.ID,
+				Table: w.Table.Name(),
+				Bytes: w.RedoBytes,
+			})
+		}
+		records = append(records, wal.Record{Kind: wal.RecordCommit, TxnID: tx.ID, Bytes: 16})
+		pr.Commit = srv.WAL.Submit(records, task.Now())
+	}
+
+	pr.Response = se.respond(respMsgs...)
+	return pr
+}
+
+// respond runs the networking write OU for the response messages.
+func (se *Session) respond(msgs ...network.Message) []byte {
+	task := se.Task
+	out := network.Encode(msgs...)
+	if se.srv.netWrite != nil {
+		se.srv.netWrite.Begin(task)
+	}
+	task.Charge(sim.Work{
+		Instructions: 260 + 1.6*float64(len(out)),
+		BytesTouched: float64(len(out)),
+		NetSendBytes: int64(len(out)),
+		NetMessages:  int64(len(msgs)),
+		AllocBytes:   int64(len(out)),
+	})
+	if se.srv.netWrite != nil {
+		se.srv.netWrite.End(task)
+		se.srv.netWrite.Features(task, int64(len(out)),
+			uint64(len(out)), uint64(len(msgs)))
+	}
+	return out
+}
+
+func recordKind(k txn.WriteKind) wal.RecordKind {
+	switch k {
+	case txn.WriteInsert:
+		return wal.RecordInsert
+	case txn.WriteDelete:
+		return wal.RecordDelete
+	default:
+		return wal.RecordUpdate
+	}
+}
+
+// encodeResult renders a result set as a wire message.
+func encodeResult(r *exec.Result) network.Message {
+	if len(r.Cols) == 0 {
+		return network.Message{Type: network.MsgComplete,
+			Payload: []byte(fmt.Sprintf("OK %d", r.Affected))}
+	}
+	var payload []byte
+	for _, c := range r.Cols {
+		payload = append(payload, c...)
+		payload = append(payload, '\t')
+	}
+	payload = append(payload, '\n')
+	for _, row := range r.Rows {
+		for _, v := range row {
+			payload = append(payload, v.String()...)
+			payload = append(payload, '\t')
+		}
+		payload = append(payload, '\n')
+	}
+	return network.Message{Type: network.MsgResult, Payload: payload}
+}
+
+// Execute is the in-process convenience path used by examples and the
+// offline loader: it parses and runs one statement with $n parameters in
+// its own transaction on the given session, bypassing the wire protocol.
+func (se *Session) Execute(query string, params ...storage.Value) (*exec.Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tx := se.srv.TxnMgr.Begin()
+	if se.srv.TS != nil {
+		se.srv.TS.BeginEvent(se.Task, tscout.SubsystemExecutionEngine)
+	}
+	res, err := se.srv.Engine.Execute(&exec.Ctx{Task: se.Task, Txn: tx}, st, params)
+	if err != nil {
+		_ = tx.Abort()
+		return nil, err
+	}
+	writes := tx.Writes()
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if len(writes) > 0 {
+		records := make([]wal.Record, 0, len(writes)+1)
+		for _, w := range writes {
+			records = append(records, wal.Record{
+				Kind: recordKind(w.Kind), TxnID: tx.ID,
+				Table: w.Table.Name(), Bytes: w.RedoBytes,
+			})
+		}
+		records = append(records, wal.Record{Kind: wal.RecordCommit, TxnID: tx.ID, Bytes: 16})
+		c := se.srv.WAL.Submit(records, se.Task.Now())
+		if c.Resolved {
+			se.Task.Clock.AdvanceTo(c.DoneNS)
+		}
+	}
+	return res, nil
+}

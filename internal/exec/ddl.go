@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"fmt"
+
+	"tscout/internal/sql"
+	"tscout/internal/storage"
+)
+
+// executeDDL handles CREATE TABLE / CREATE INDEX. DDL runs outside the
+// OU instrumentation (the paper's models cover runtime operations, not
+// schema changes) and auto-commits against the catalog.
+func (e *Engine) executeDDL(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		cols := make([]storage.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = storage.Column{Name: c.Name, Kind: c.Kind, FixedBytes: c.FixedBytes}
+		}
+		schema, err := storage.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.cat.CreateTable(s.Name, schema); err != nil {
+			return nil, err
+		}
+		if len(s.PrimaryKey) > 0 {
+			// Integer key columns get 24-bit packed widths; a string
+			// column anywhere in the key forces a hash index.
+			hash := false
+			for _, kc := range s.PrimaryKey {
+				i := schema.ColumnIndex(kc)
+				if i < 0 {
+					return nil, fmt.Errorf("exec: PRIMARY KEY column %q not defined", kc)
+				}
+				if schema.Column(i).Kind != storage.KindInt {
+					hash = true
+				}
+			}
+			ixName := s.Name + "_pkey"
+			if hash {
+				if _, err := e.cat.CreateHashIndex(ixName, s.Name, s.PrimaryKey, true); err != nil {
+					return nil, err
+				}
+			} else {
+				bits := make([]uint, len(s.PrimaryKey))
+				for i := range bits {
+					bits[i] = 24
+				}
+				if len(bits) > 2 {
+					for i := range bits {
+						bits[i] = 16
+					}
+				}
+				if _, err := e.cat.CreateBTreeIndex(ixName, s.Name, s.PrimaryKey, bits, true); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &Result{}, nil
+
+	case *sql.CreateIndexStmt:
+		tbl, err := e.cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema := tbl.Heap.Schema()
+		hash := s.Hash
+		for _, c := range s.Columns {
+			i := schema.ColumnIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("exec: index column %q not in table %q", c, s.Table)
+			}
+			if schema.Column(i).Kind != storage.KindInt {
+				hash = true
+			}
+		}
+		var ixErr error
+		if hash {
+			_, ixErr = e.cat.CreateHashIndex(s.Name, s.Table, s.Columns, s.Unique)
+		} else {
+			bits := make([]uint, len(s.Columns))
+			for i := range bits {
+				bits[i] = 24
+			}
+			if len(bits) > 2 {
+				for i := range bits {
+					bits[i] = 16
+				}
+			}
+			_, ixErr = e.cat.CreateBTreeIndex(s.Name, s.Table, s.Columns, bits, s.Unique)
+		}
+		if ixErr != nil {
+			return nil, ixErr
+		}
+		// Backfill from existing visible rows.
+		ix := tbl.Indexes[len(tbl.Indexes)-1]
+		tbl.Heap.ScanSlots(func(id storage.TupleID, head *storage.Version) bool {
+			for v := head; v != nil; v = v.Next {
+				if !v.Deleted && v.Values != nil {
+					ix.Insert(ix.KeyFor(v.Values), id)
+					break
+				}
+			}
+			return true
+		})
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported DDL %T", stmt)
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+func planText(t *testing.T, db *testDB, q string) string {
+	t.Helper()
+	res := db.run(t, q)
+	if len(res.Cols) != 1 || res.Cols[0] != "QUERY PLAN" {
+		t.Fatalf("explain output shape: %+v", res.Cols)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].Str)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestExplainAccessPaths(t *testing.T) {
+	db := newTestDB(t, false)
+	db.seed(t, 30)
+
+	if p := planText(t, db, "EXPLAIN SELECT * FROM accounts WHERE id = 5"); !strings.Contains(p, "Index Scan using accounts_pk") {
+		t.Fatalf("point query plan:\n%s", p)
+	}
+	if p := planText(t, db, "EXPLAIN SELECT * FROM accounts WHERE balance > 100"); !strings.Contains(p, "Seq Scan on accounts") {
+		t.Fatalf("range query plan:\n%s", p)
+	}
+	p := planText(t, db, `EXPLAIN SELECT a.id, b.total FROM accounts a
+		JOIN branches b ON a.branch = b.id WHERE a.id = 1`)
+	if !strings.Contains(p, "Hash Join") || !strings.Contains(p, "Seq Scan on branches") {
+		t.Fatalf("join plan:\n%s", p)
+	}
+	p = planText(t, db, "EXPLAIN SELECT branch, COUNT(*) FROM accounts GROUP BY branch ORDER BY branch LIMIT 3")
+	for _, want := range []string{"Aggregate", "Sort", "Limit 3"} {
+		if !strings.Contains(p, want) {
+			t.Fatalf("missing %q in:\n%s", want, p)
+		}
+	}
+}
+
+func TestExplainDML(t *testing.T) {
+	db := newTestDB(t, false)
+	db.seed(t, 10)
+	if p := planText(t, db, "EXPLAIN UPDATE accounts SET balance = 0 WHERE id = 1"); !strings.Contains(p, "Update accounts") {
+		t.Fatalf("update plan:\n%s", p)
+	}
+	if p := planText(t, db, "EXPLAIN DELETE FROM accounts WHERE id = 1"); !strings.Contains(p, "Delete from accounts") {
+		t.Fatalf("delete plan:\n%s", p)
+	}
+	if p := planText(t, db, "EXPLAIN INSERT INTO accounts VALUES (99, 1, 1.0, 'x')"); !strings.Contains(p, "Insert into accounts (1 rows)") {
+		t.Fatalf("insert plan:\n%s", p)
+	}
+	// Plain EXPLAIN must not execute.
+	if res := db.run(t, "SELECT COUNT(*) FROM accounts"); res.Rows[0][0].AsInt() != 10 {
+		t.Fatalf("EXPLAIN must not execute DML")
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db := newTestDB(t, false)
+	db.seed(t, 25)
+	p := planText(t, db, "EXPLAIN ANALYZE SELECT * FROM accounts WHERE branch = 2")
+	if !strings.Contains(p, "Actual rows: 5") {
+		t.Fatalf("actual rows missing:\n%s", p)
+	}
+	if !strings.Contains(p, "Execution time:") {
+		t.Fatalf("execution time missing:\n%s", p)
+	}
+	// EXPLAIN ANALYZE executes: DML takes effect (like PostgreSQL).
+	planText(t, db, "EXPLAIN ANALYZE UPDATE accounts SET balance = 0 WHERE id = 3")
+	if res := db.run(t, "SELECT balance FROM accounts WHERE id = 3"); res.Rows[0][0].AsFloat() != 0 {
+		t.Fatalf("EXPLAIN ANALYZE must execute: %+v", res.Rows)
+	}
+}
+
+func TestExplainCostsTime(t *testing.T) {
+	// §2.2: external feature collection re-plans and (with ANALYZE)
+	// re-executes — it must cost more than the query alone.
+	db := newTestDB(t, false)
+	db.seed(t, 50)
+	cost := func(q string) int64 {
+		before := db.task.Now()
+		db.run(t, q)
+		return db.task.Now() - before
+	}
+	plain := cost("SELECT * FROM accounts WHERE branch = 1")
+	withExplain := cost("EXPLAIN ANALYZE SELECT * FROM accounts WHERE branch = 1")
+	if withExplain <= plain {
+		t.Fatalf("EXPLAIN ANALYZE must cost more than the bare query: %d vs %d", withExplain, plain)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := newTestDB(t, false)
+	if _, err := db.tryRun("EXPLAIN SELECT * FROM nosuch"); err == nil {
+		t.Fatalf("unknown table must fail")
+	}
+	if _, err := db.tryRun("EXPLAIN"); err == nil {
+		t.Fatalf("bare explain must fail")
+	}
+}

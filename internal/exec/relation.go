@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"fmt"
+
+	"tscout/internal/sql"
+	"tscout/internal/storage"
+)
+
+// relation is a materialized intermediate result: rows plus column
+// binding metadata for name resolution across joins.
+type relation struct {
+	cols  []string // qualified "binding.col"
+	bare  map[string]int
+	qual  map[string]int
+	rows  []storage.Row
+	width int64 // estimated bytes per row
+}
+
+const ambiguous = -2
+
+func newRelation(binding string, schema *storage.Schema) *relation {
+	r := &relation{
+		bare:  make(map[string]int),
+		qual:  make(map[string]int),
+		width: schema.RowWidth(),
+	}
+	for i, c := range schema.Columns() {
+		r.addCol(binding, c.Name, i)
+	}
+	return r
+}
+
+func (r *relation) addCol(binding, name string, idx int) {
+	r.cols = append(r.cols, binding+"."+name)
+	r.qual[binding+"."+name] = idx
+	if _, dup := r.bare[name]; dup {
+		r.bare[name] = ambiguous
+	} else {
+		r.bare[name] = idx
+	}
+}
+
+// resolve maps a column reference to a row position.
+func (r *relation) resolve(c sql.ColRef) (int, error) {
+	if c.Table != "" {
+		if i, ok := r.qual[c.Table+"."+c.Name]; ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("exec: unknown column %s", c)
+	}
+	i, ok := r.bare[c.Name]
+	if !ok {
+		return 0, fmt.Errorf("exec: unknown column %s", c.Name)
+	}
+	if i == ambiguous {
+		return 0, fmt.Errorf("exec: ambiguous column %s", c.Name)
+	}
+	return i, nil
+}
+
+// concat builds the joined relation metadata of a and b (rows appended by
+// the join operator itself).
+func concatRelations(a, b *relation) *relation {
+	out := &relation{
+		bare:  make(map[string]int),
+		qual:  make(map[string]int),
+		width: a.width + b.width,
+	}
+	for i, qc := range a.cols {
+		out.cols = append(out.cols, qc)
+		out.qual[qc] = i
+		bare := bareName(qc)
+		if _, dup := out.bare[bare]; dup {
+			out.bare[bare] = ambiguous
+		} else {
+			out.bare[bare] = i
+		}
+	}
+	off := len(a.cols)
+	for i, qc := range b.cols {
+		out.cols = append(out.cols, qc)
+		out.qual[qc] = off + i
+		bare := bareName(qc)
+		if _, dup := out.bare[bare]; dup {
+			out.bare[bare] = ambiguous
+		} else {
+			out.bare[bare] = off + i
+		}
+	}
+	return out
+}
+
+func bareName(qualified string) string {
+	for i := len(qualified) - 1; i >= 0; i-- {
+		if qualified[i] == '.' {
+			return qualified[i+1:]
+		}
+	}
+	return qualified
+}
+
+// compiledPred is a WHERE conjunct resolved against a relation.
+type compiledPred struct {
+	col int
+	op  sql.CmpOp
+	val storage.Value
+}
+
+func (p compiledPred) eval(row storage.Row) bool {
+	c := row[p.col].Compare(p.val)
+	switch p.op {
+	case sql.OpEq:
+		return c == 0
+	case sql.OpNe:
+		return c != 0
+	case sql.OpLt:
+		return c < 0
+	case sql.OpLe:
+		return c <= 0
+	case sql.OpGt:
+		return c > 0
+	case sql.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// evalExpr evaluates a scalar expression against an optional input row.
+func evalExpr(e sql.Expr, row storage.Row, rel *relation, params []storage.Value) (storage.Value, error) {
+	switch x := e.(type) {
+	case sql.Literal:
+		return x.Val, nil
+	case sql.Param:
+		if x.N < 1 || x.N > len(params) {
+			return storage.Value{}, fmt.Errorf("exec: parameter $%d not bound (%d given)", x.N, len(params))
+		}
+		return params[x.N-1], nil
+	case sql.ColExpr:
+		if rel == nil || row == nil {
+			return storage.Value{}, fmt.Errorf("exec: column %s in a context without input rows", x.Ref)
+		}
+		i, err := rel.resolve(x.Ref)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return row[i], nil
+	case sql.Binary:
+		l, err := evalExpr(x.Left, row, rel, params)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		r, err := evalExpr(x.Right, row, rel, params)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return applyBinary(l, x.Op, r)
+	}
+	return storage.Value{}, fmt.Errorf("exec: unsupported expression %T", e)
+}
+
+func applyBinary(l storage.Value, op byte, r storage.Value) (storage.Value, error) {
+	if l.Kind == storage.KindString || r.Kind == storage.KindString {
+		if op == '+' {
+			return storage.NewString(l.String() + r.String()), nil
+		}
+		return storage.Value{}, fmt.Errorf("exec: operator %c on strings", op)
+	}
+	if l.Kind == storage.KindFloat || r.Kind == storage.KindFloat {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case '+':
+			return storage.NewFloat(a + b), nil
+		case '-':
+			return storage.NewFloat(a - b), nil
+		case '*':
+			return storage.NewFloat(a * b), nil
+		case '/':
+			if b == 0 {
+				return storage.Null(), nil
+			}
+			return storage.NewFloat(a / b), nil
+		}
+	}
+	a, b := l.AsInt(), r.AsInt()
+	switch op {
+	case '+':
+		return storage.NewInt(a + b), nil
+	case '-':
+		return storage.NewInt(a - b), nil
+	case '*':
+		return storage.NewInt(a * b), nil
+	case '/':
+		if b == 0 {
+			return storage.Null(), nil
+		}
+		return storage.NewInt(a / b), nil
+	}
+	return storage.Value{}, fmt.Errorf("exec: unknown operator %c", op)
+}

@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"sort"
+
+	"tscout/internal/catalog"
+	"tscout/internal/sim"
+	"tscout/internal/sql"
+	"tscout/internal/storage"
+)
+
+// accessPath is the planner's choice for reading one table.
+type accessPath struct {
+	table *catalog.Table
+	index *catalog.Index
+	// exact means a full-key point probe; otherwise keyLo..keyHi is a
+	// leading-prefix range. index == nil means sequential scan.
+	exact        bool
+	key          int64
+	keyLo, keyHi int64
+	// residual predicates to apply after the access path.
+	residual []compiledPred
+}
+
+// planAccess picks the cheapest access path for preds on tbl: a full-key
+// index probe, then a leading-prefix B+Tree range, then a sequential scan.
+func planAccess(tbl *catalog.Table, preds []compiledPred) accessPath {
+	eq := make(map[int]storage.Value)
+	for _, p := range preds {
+		if p.op == sql.OpEq {
+			if _, dup := eq[p.col]; !dup {
+				eq[p.col] = p.val
+			}
+		}
+	}
+	var best accessPath
+	best.table = tbl
+	bestScore := 0 // 0 = seqscan, 1 = prefix, 2 = full, 3 = full unique
+	for _, ix := range tbl.Indexes {
+		covered := 0
+		for _, kc := range ix.KeyCols {
+			if _, ok := eq[kc]; ok {
+				covered++
+			} else {
+				break
+			}
+		}
+		if covered == 0 {
+			continue
+		}
+		full := covered == len(ix.KeyCols)
+		score := 1
+		if full {
+			score = 2
+			if ix.Unique {
+				score = 3
+			}
+		}
+		if !full && ix.Kind == catalog.HashKind {
+			continue // hash indexes cannot serve prefix ranges
+		}
+		if score <= bestScore {
+			continue
+		}
+		vals := make([]storage.Value, covered)
+		for i := 0; i < covered; i++ {
+			vals[i] = eq[ix.KeyCols[i]]
+		}
+		ap := accessPath{table: tbl, index: ix}
+		if full {
+			ap.exact = true
+			ap.key = ix.KeyForValues(vals)
+		} else {
+			ap.keyLo, ap.keyHi = ix.PrefixRange(vals)
+		}
+		// Every predicate stays as a residual re-check: index entries are
+		// maintained lazily under MVCC (a key-changing update inserts the
+		// new key but leaves the old entry for older snapshots; GC would
+		// reclaim it), so a probe can return tuples whose visible version
+		// no longer matches the key.
+		ap.residual = preds
+		best = ap
+		bestScore = score
+	}
+	if bestScore == 0 {
+		best.residual = preds
+	}
+	return best
+}
+
+// match is one visible row produced by a scan, with its address for DML.
+type match struct {
+	tid storage.TupleID
+	row storage.Row
+}
+
+// runScan executes the access path as its OU (seq_scan or index_scan)
+// followed by a filter OU for residual predicates. It returns the visible
+// matches.
+func (e *Engine) runScan(ctx *Ctx, ap accessPath) []match {
+	heap := ap.table.Heap
+	width := heap.Schema().RowWidth()
+	var out []match
+
+	if ap.index == nil {
+		m := e.ouBegin(ctx, OUSeqScan)
+		slots := 0
+		walked := 0
+		heap.ScanSlots(func(id storage.TupleID, head *storage.Version) bool {
+			slots++
+			row, w := ctx.Txn.Read(heap, id)
+			walked += w
+			if row != nil {
+				out = append(out, match{tid: id, row: row})
+			}
+			return true
+		})
+		work := sim.Work{
+			Instructions:         140 + 36*float64(slots) + 22*float64(walked),
+			BytesTouched:         float64(slots)*float64(width) + 24*float64(walked),
+			WorkingSetBytes:      float64(heap.DataBytes()),
+			RandomAccessFraction: 0.05,
+		}
+		ctx.Task.Charge(work)
+		ouEnd(ctx, m)
+		ouFeatures(ctx, m, 0, uint64(slots), uint64(width), uint64(heap.NumBlocks()))
+	} else {
+		m := e.ouBegin(ctx, OUIndexScan)
+		var tids []int64
+		lookups := 1
+		if ap.exact {
+			tids = append(tids, ap.index.Search(ap.key)...)
+		} else {
+			ap.index.RangeSearch(ap.keyLo, ap.keyHi, func(k int64, ts []int64) bool {
+				tids = append(tids, ts...)
+				return true
+			})
+			lookups = 1 + len(tids)/8 // leaf-chain hops
+		}
+		walked := 0
+		for _, t := range tids {
+			row, w := ctx.Txn.Read(heap, storage.TupleID(t))
+			walked += w
+			if row != nil {
+				out = append(out, match{tid: storage.TupleID(t), row: row})
+			}
+		}
+		h := float64(ap.index.Height())
+		work := sim.Work{
+			Instructions:         180 + 60*h*float64(lookups) + 48*float64(len(tids)) + 22*float64(walked),
+			BytesTouched:         64*h*float64(lookups) + float64(len(out))*float64(width),
+			WorkingSetBytes:      float64(ap.index.Len())*24 + float64(heap.DataBytes())*0.1,
+			RandomAccessFraction: 0.85,
+		}
+		ctx.Task.Charge(work)
+		ouEnd(ctx, m)
+		ouFeatures(ctx, m, 0,
+			uint64(lookups), uint64(ap.index.Height()), uint64(len(out)), uint64(width))
+	}
+
+	if len(ap.residual) > 0 {
+		m := e.ouBegin(ctx, OUFilter)
+		in := len(out)
+		kept := out[:0]
+		for _, mt := range out {
+			ok := true
+			for _, p := range ap.residual {
+				if !p.eval(mt.row) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, mt)
+			}
+		}
+		out = kept
+		ctx.Task.Charge(sim.Work{
+			Instructions: 40 + float64(in)*14*float64(len(ap.residual)),
+			BytesTouched: float64(in) * 16 * float64(len(ap.residual)),
+		})
+		ouEnd(ctx, m)
+		ouFeatures(ctx, m, 0, uint64(in), uint64(len(ap.residual)), uint64(len(out)))
+	}
+	return out
+}
+
+// compilePreds resolves WHERE conjuncts against rel, returning the
+// compiled ones and deferring those that reference other relations.
+func compilePreds(preds []sql.Predicate, rel *relation, params []storage.Value) (compiled []compiledPred, deferred []sql.Predicate, err error) {
+	for _, p := range preds {
+		idx, rerr := rel.resolve(p.Col)
+		if rerr != nil {
+			deferred = append(deferred, p)
+			continue
+		}
+		v, verr := evalExpr(p.Val, nil, nil, params)
+		if verr != nil {
+			return nil, nil, verr
+		}
+		compiled = append(compiled, compiledPred{col: idx, op: p.Op, val: v})
+	}
+	sort.SliceStable(compiled, func(i, j int) bool { return compiled[i].col < compiled[j].col })
+	return compiled, deferred, nil
+}

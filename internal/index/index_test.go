@@ -1,0 +1,223 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertSearch(t *testing.T) {
+	bt := NewBTree()
+	if got := bt.Search(5); got != nil {
+		t.Fatalf("empty tree search: %v", got)
+	}
+	for i := int64(0); i < 1000; i++ {
+		bt.Insert(i, i*10)
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len: %d", bt.Len())
+	}
+	if bt.Height() < 2 {
+		t.Fatalf("1000 keys must split: height %d", bt.Height())
+	}
+	for i := int64(0); i < 1000; i++ {
+		got := bt.Search(i)
+		if len(got) != 1 || got[0] != i*10 {
+			t.Fatalf("search %d: %v", i, got)
+		}
+	}
+	if bt.Search(5000) != nil {
+		t.Fatalf("absent key")
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(7, 1)
+	bt.Insert(7, 2)
+	bt.Insert(7, 3)
+	if got := bt.Search(7); len(got) != 3 {
+		t.Fatalf("duplicates: %v", got)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("distinct keys: %d", bt.Len())
+	}
+	if !bt.Delete(7, 2) {
+		t.Fatalf("delete present")
+	}
+	if got := bt.Search(7); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after delete: %v", got)
+	}
+	if bt.Delete(7, 99) || bt.Delete(100, 1) {
+		t.Fatalf("delete absent must be false")
+	}
+	bt.Delete(7, 1)
+	bt.Delete(7, 3)
+	if bt.Search(7) != nil || bt.Len() != 0 {
+		t.Fatalf("key must vanish when postings empty")
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 500; i += 2 { // even keys only
+		bt.Insert(i, i)
+	}
+	var keys []int64
+	bt.Range(100, 110, func(k int64, tids []int64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int64{100, 102, 104, 106, 108, 110}
+	if len(keys) != len(want) {
+		t.Fatalf("range: %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("range order: %v", keys)
+		}
+	}
+	// Early exit.
+	n := 0
+	bt.Range(0, 498, func(k int64, tids []int64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early exit: %d", n)
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Min(); ok {
+		t.Fatalf("empty min")
+	}
+	if _, ok := bt.Max(); ok {
+		t.Fatalf("empty max")
+	}
+	vals := []int64{42, 7, 99, 13, 57}
+	for _, v := range vals {
+		bt.Insert(v, v)
+	}
+	if mn, _ := bt.Min(); mn != 7 {
+		t.Fatalf("min: %d", mn)
+	}
+	if mx, _ := bt.Max(); mx != 99 {
+		t.Fatalf("max: %d", mx)
+	}
+}
+
+func TestBTreeRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bt := NewBTree()
+	model := map[int64][]int64{}
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tid := int64(i)
+			bt.Insert(k, tid)
+			model[k] = append(model[k], tid)
+		case 2:
+			if vals := model[k]; len(vals) > 0 {
+				tid := vals[rng.Intn(len(vals))]
+				if !bt.Delete(k, tid) {
+					t.Fatalf("model has (%d,%d) but tree delete failed", k, tid)
+				}
+				for j, v := range vals {
+					if v == tid {
+						model[k] = append(vals[:j], vals[j+1:]...)
+						break
+					}
+				}
+				if len(model[k]) == 0 {
+					delete(model, k)
+				}
+			}
+		}
+	}
+	if bt.Len() != len(model) {
+		t.Fatalf("len: tree %d model %d", bt.Len(), len(model))
+	}
+	for k, want := range model {
+		got := bt.Search(k)
+		if len(got) != len(want) {
+			t.Fatalf("key %d: got %v want %v", k, got, want)
+		}
+		gs := append([]int64(nil), got...)
+		ws := append([]int64(nil), want...)
+		sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("key %d postings: got %v want %v", k, got, want)
+			}
+		}
+	}
+}
+
+// Property: a range scan returns exactly the inserted keys within bounds,
+// in sorted order.
+func TestBTreeRangeProperty(t *testing.T) {
+	f := func(keysRaw []uint16, loRaw, hiRaw uint16) bool {
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bt := NewBTree()
+		set := map[int64]bool{}
+		for _, k := range keysRaw {
+			bt.Insert(int64(k), 1)
+			set[int64(k)] = true
+		}
+		var want []int64
+		for k := range set {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		bt.Range(lo, hi, func(k int64, tids []int64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	h := NewHash()
+	if h.Search(1) != nil || h.Len() != 0 {
+		t.Fatalf("empty")
+	}
+	h.Insert(1, 10)
+	h.Insert(1, 11)
+	h.Insert(2, 20)
+	if h.Len() != 2 || len(h.Search(1)) != 2 {
+		t.Fatalf("insert")
+	}
+	if !h.Delete(1, 10) || h.Delete(1, 10) || h.Delete(9, 9) {
+		t.Fatalf("delete semantics")
+	}
+	if got := h.Search(1); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("after delete: %v", got)
+	}
+	h.Delete(1, 11)
+	if h.Search(1) != nil || h.Len() != 1 {
+		t.Fatalf("empty postings must drop key")
+	}
+}

@@ -1,0 +1,164 @@
+// Package kernel simulates the slice of a Linux kernel that TScout depends
+// on: tasks with per-task IO accounting (task_struct.ioac), socket
+// statistics (tcp_sock), the perf_event counter subsystem with PMU
+// multiplexing, a syscall/mode-switch cost model, and statically-defined
+// tracepoints that trap into kernel space and run an attached program.
+//
+// The paper's overhead results (Figures 1, 5, 6) are driven entirely by how
+// many user<->kernel transitions each metrics-collection method performs and
+// what each transition costs; this package charges those costs explicitly in
+// virtual time from the active sim.HardwareProfile.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tscout/internal/sim"
+)
+
+// Kernel is one simulated OS instance. It owns the tracepoint registry, the
+// process table, and global accounting. A Kernel is safe for concurrent use
+// by multiple goroutines, though the discrete-event workload driver usually
+// runs tasks one at a time.
+type Kernel struct {
+	Profile sim.HardwareProfile
+	Noise   *sim.Noise
+
+	mu          sync.Mutex
+	nextPID     int
+	tracepoints map[string]*Tracepoint
+	loadFactor  float64
+
+	// CtxSwitches counts context switches across all tasks (exposed for
+	// the overhead experiments).
+	CtxSwitches atomic.Int64
+	// ModeSwitches counts user<->kernel transitions across all tasks.
+	ModeSwitches atomic.Int64
+}
+
+// New creates a simulated kernel on the given hardware with deterministic
+// measurement noise derived from seed. sigma is the relative measurement
+// jitter (0 disables noise).
+func New(profile sim.HardwareProfile, seed int64, sigma float64) *Kernel {
+	return &Kernel{
+		Profile:     profile,
+		Noise:       sim.NewNoise(seed, sigma),
+		nextPID:     1,
+		tracepoints: make(map[string]*Tracepoint),
+	}
+}
+
+// SetLoadFactor declares how many worker threads are actively contending
+// for shared DBMS structures (latches, the allocator, the version store).
+// Contention shows up as extra stall cycles on every charge: elapsed time
+// and cycle counts inflate while instruction counts do not — exactly the
+// feature-invisible effect that makes single-client offline runner data
+// mis-predict heavily loaded deployments (paper §6.5, Fig. 11).
+func (k *Kernel) SetLoadFactor(workers float64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	k.loadFactor = workers
+}
+
+// contentionMult returns the cycle inflation for the current load.
+func (k *Kernel) contentionMult() float64 {
+	k.mu.Lock()
+	lf := k.loadFactor
+	k.mu.Unlock()
+	if lf <= 1 {
+		return 1
+	}
+	return 1 + 0.08*(lf-1)
+}
+
+// NewTask registers a new task (a DBMS worker thread) with the kernel.
+func (k *Kernel) NewTask(name string) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pid := k.nextPID
+	k.nextPID++
+	t := &Task{
+		PID:    pid,
+		Name:   name,
+		kernel: k,
+		perf:   newPerfContext(k),
+	}
+	return t
+}
+
+// Tracepoint returns the named tracepoint, creating it on first use.
+// Tracepoints are the kernel-side anchor of TScout's markers (paper §3.1):
+// at DBMS compile time the marker macros emit NOPs plus metadata, and the OS
+// patches them into real trap sites when a Collector attaches.
+func (k *Kernel) Tracepoint(name string) *Tracepoint {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	tp, ok := k.tracepoints[name]
+	if !ok {
+		tp = &Tracepoint{name: name}
+		k.tracepoints[name] = tp
+	}
+	return tp
+}
+
+// TracepointNames returns all registered tracepoint names (for tooling).
+func (k *Kernel) TracepointNames() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	names := make([]string, 0, len(k.tracepoints))
+	for n := range k.tracepoints {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TraceHandler is a program attached to a tracepoint. It runs logically in
+// kernel space: the task has already paid the mode switch when the handler
+// is invoked. The handler returns the number of virtual nanoseconds its
+// execution cost (the BPF interpreter reports instructions * BPFInsnNS).
+type TraceHandler func(t *Task, args []uint64) int64
+
+// Tracepoint is a statically-defined trace site. With no handler attached a
+// hit is a NOP and costs nothing, matching USDT semantics.
+type Tracepoint struct {
+	name string
+
+	mu      sync.RWMutex
+	handler TraceHandler
+
+	// Hits counts handler invocations (not NOP executions).
+	Hits atomic.Int64
+}
+
+// Name returns the tracepoint's registered name.
+func (tp *Tracepoint) Name() string { return tp.name }
+
+// Attach installs a handler, replacing any existing one.
+func (tp *Tracepoint) Attach(h TraceHandler) {
+	tp.mu.Lock()
+	tp.handler = h
+	tp.mu.Unlock()
+}
+
+// Detach removes the handler; subsequent hits are NOPs again.
+func (tp *Tracepoint) Detach() {
+	tp.mu.Lock()
+	tp.handler = nil
+	tp.mu.Unlock()
+}
+
+// Attached reports whether a handler is currently installed.
+func (tp *Tracepoint) Attached() bool {
+	tp.mu.RLock()
+	defer tp.mu.RUnlock()
+	return tp.handler != nil
+}
+
+func (tp *Tracepoint) String() string {
+	return fmt.Sprintf("tracepoint(%s attached=%v hits=%d)", tp.name, tp.Attached(), tp.Hits.Load())
+}

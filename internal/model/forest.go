@@ -1,0 +1,214 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Forest is a random forest of CART regression trees: bootstrap-sampled
+// training sets and random feature subsets per split.
+type Forest struct {
+	// Trees is the ensemble size (default 20).
+	Trees int
+	// MaxDepth bounds tree depth (default 12).
+	MaxDepth int
+	// MinSamples is the minimum node size to split (default 4).
+	MinSamples int
+	// Seed drives bootstrapping.
+	Seed int64
+}
+
+func (f Forest) trees() int {
+	if f.Trees <= 0 {
+		return 20
+	}
+	return f.Trees
+}
+
+func (f Forest) maxDepth() int {
+	if f.MaxDepth <= 0 {
+		return 12
+	}
+	return f.MaxDepth
+}
+
+func (f Forest) minSamples() int {
+	if f.MinSamples <= 0 {
+		return 4
+	}
+	return f.MinSamples
+}
+
+// Train implements Trainer.
+func (f Forest) Train(X [][]float64, y []float64) (Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrNoData
+	}
+	rng := rand.New(rand.NewSource(f.Seed + 1))
+	n := len(X)
+	nFeat := len(X[0])
+	mtry := nFeat
+	if nFeat > 2 {
+		mtry = (nFeat + 2) / 2
+	}
+	ens := &forestModel{}
+	for t := 0; t < f.trees(); t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tree := buildTree(X, y, idx, f.maxDepth(), f.minSamples(), mtry, rng)
+		ens.trees = append(ens.trees, tree)
+	}
+	return ens, nil
+}
+
+type forestModel struct{ trees []*treeNode }
+
+// Predict implements Model: the ensemble mean.
+func (m *forestModel) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range m.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(m.trees))
+}
+
+type treeNode struct {
+	leaf        bool
+	value       float64
+	feature     int
+	threshold   float64
+	left, right *treeNode
+}
+
+func (n *treeNode) predict(x []float64) float64 {
+	for !n.leaf {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func buildTree(X [][]float64, y []float64, idx []int, depth, minSamples, mtry int, rng *rand.Rand) *treeNode {
+	mean, sse := meanSSE(y, idx)
+	if depth <= 0 || len(idx) < minSamples || sse < 1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	nFeat := len(X[0])
+	feats := rng.Perm(nFeat)[:mtry]
+
+	bestFeat, bestThresh := -1, 0.0
+	bestScore := sse
+	var bestLeft, bestRight []int
+	vals := make([]float64, 0, len(idx))
+	for _, fi := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][fi])
+		}
+		sort.Float64s(vals)
+		for _, th := range splitCandidates(vals) {
+			var left, right []int
+			for _, i := range idx {
+				if X[i][fi] <= th {
+					left = append(left, i)
+				} else {
+					right = append(right, i)
+				}
+			}
+			if len(left) == 0 || len(right) == 0 {
+				continue
+			}
+			_, lsse := meanSSE(y, left)
+			_, rsse := meanSSE(y, right)
+			if s := lsse + rsse; s < bestScore {
+				bestScore, bestFeat, bestThresh = s, fi, th
+				bestLeft, bestRight = left, right
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      buildTree(X, y, bestLeft, depth-1, minSamples, mtry, rng),
+		right:     buildTree(X, y, bestRight, depth-1, minSamples, mtry, rng),
+	}
+}
+
+// splitCandidates returns threshold candidates for one (sorted) feature
+// column: all distinct-value midpoints when few values exist, quantile
+// positions otherwise — with distinct values merged in so heavily skewed
+// discrete features (390 ones, 9 eights) remain splittable.
+func splitCandidates(sorted []float64) []float64 {
+	if len(sorted) < 2 || sorted[0] == sorted[len(sorted)-1] {
+		return nil
+	}
+	distinct := make([]float64, 0, 32)
+	prev := sorted[0]
+	distinct = append(distinct, prev)
+	for _, v := range sorted[1:] {
+		if v != prev {
+			distinct = append(distinct, v)
+			prev = v
+			if len(distinct) > 32 {
+				break
+			}
+		}
+	}
+	var out []float64
+	if len(distinct) <= 32 {
+		for i := 1; i < len(distinct); i++ {
+			out = append(out, (distinct[i-1]+distinct[i])/2)
+		}
+		return out
+	}
+	seen := map[float64]bool{}
+	for q := 1; q < 16; q++ {
+		th := sorted[len(sorted)*q/16]
+		if th == sorted[0] || th == sorted[len(sorted)-1] || seen[th] {
+			continue
+		}
+		seen[th] = true
+		out = append(out, th)
+	}
+	// Guarantee the extremes remain separable even under heavy skew.
+	lo := (sorted[0] + distinct[1]) / 2
+	hiIdx := len(sorted) - 1
+	for hiIdx > 0 && sorted[hiIdx] == sorted[len(sorted)-1] {
+		hiIdx--
+	}
+	hi := (sorted[hiIdx] + sorted[len(sorted)-1]) / 2
+	if !seen[lo] {
+		out = append(out, lo)
+	}
+	if !seen[hi] && hi != lo {
+		out = append(out, hi)
+	}
+	return out
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	if math.IsNaN(sse) {
+		sse = 0
+	}
+	return mean, sse
+}

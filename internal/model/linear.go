@@ -1,0 +1,131 @@
+// Package model implements the OU behavior models of a self-driving DBMS
+// (paper §2.1): given an operating unit's input features, predict its
+// output metrics (elapsed time in the evaluation). Two model families are
+// provided — ridge linear regression and random forests of CART trees,
+// matching the families MB2 uses — plus the evaluation protocol from the
+// paper: average absolute error per query template and k-fold
+// cross-validation.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model predicts a target from a feature vector.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// Trainer fits a Model to data.
+type Trainer interface {
+	Train(X [][]float64, y []float64) (Model, error)
+}
+
+// ErrNoData is returned when a training set is empty.
+var ErrNoData = errors.New("model: no training data")
+
+// Ridge is L2-regularized linear regression trained in closed form.
+type Ridge struct {
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+}
+
+// Train implements Trainer via the normal equations with a bias column.
+func (r Ridge) Train(X [][]float64, y []float64) (Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrNoData
+	}
+	lambda := r.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	d := len(X[0]) + 1 // bias
+	// A = X'X + lambda I ; b = X'y
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for i, x := range X {
+		if len(x) != d-1 {
+			return nil, fmt.Errorf("model: inconsistent feature width %d vs %d", len(x), d-1)
+		}
+		row[0] = 1
+		copy(row[1:], x)
+		for a := 0; a < d; a++ {
+			for c := 0; c < d; c++ {
+				A[a][c] += row[a] * row[c]
+			}
+			b[a] += row[a] * y[i]
+		}
+	}
+	for i := 1; i < d; i++ { // don't regularize the bias
+		A[i][i] += lambda
+	}
+	w, err := solve(A, b)
+	if err != nil {
+		return nil, err
+	}
+	return &linearModel{w: w}, nil
+}
+
+type linearModel struct{ w []float64 }
+
+// Predict implements Model.
+func (m *linearModel) Predict(x []float64) float64 {
+	out := m.w[0]
+	n := len(m.w) - 1
+	for i := 0; i < n && i < len(x); i++ {
+		out += m.w[i+1] * x[i]
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	M := make([][]float64, n)
+	for i := range M {
+		M[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(M[r][col]) > abs(M[p][col]) {
+				p = r
+			}
+		}
+		if abs(M[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("model: singular system at column %d", col)
+		}
+		M[col], M[p] = M[p], M[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := M[r][col] / M[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = M[i][n] / M[i][i]
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,275 @@
+package model
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tscout/internal/tscout"
+)
+
+// Point is one training example for an OU model: features plus the target
+// metric (elapsed microseconds, matching the paper's error unit).
+type Point struct {
+	OU       tscout.OUID
+	Sub      tscout.SubsystemID
+	Features []float64
+	// TargetUS is the elapsed time in microseconds.
+	TargetUS float64
+	// Template identifies the invocation class this point belongs to;
+	// the paper evaluates "average absolute error per query template".
+	Template uint64
+}
+
+// FromTrainingPoints converts TScout output into model points, targeting
+// elapsed time. hwContext optionally appends hardware features to every
+// point (the paper's only CPU context feature is the clock speed, §6.4).
+func FromTrainingPoints(pts []tscout.TrainingPoint, hwContext []float64) []Point {
+	out := make([]Point, 0, len(pts))
+	for _, tp := range pts {
+		feats := append(append([]float64(nil), tp.Features...), hwContext...)
+		out = append(out, Point{
+			OU:       tp.OU,
+			Sub:      tp.Subsystem,
+			Features: feats,
+			TargetUS: float64(tp.Metrics.ElapsedNS) / 1000.0,
+			Template: templateKey(tp),
+		})
+	}
+	return out
+}
+
+// templateKey buckets a point into an invocation class: the OU plus its
+// feature vector quantized to order of magnitude. Points from the same
+// query template land in the same class.
+func templateKey(tp tscout.TrainingPoint) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(uint64(tp.OU))
+	for _, f := range tp.Features {
+		put(uint64(quantize(f)))
+	}
+	return h.Sum64()
+}
+
+// quantize maps a feature to a coarse magnitude bucket.
+func quantize(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for v >= 4 {
+		v /= 4
+		b++
+	}
+	return b
+}
+
+// OUModelSet holds one trained model per OU (the decomposed modeling of
+// MB2 that TScout generates data for).
+type OUModelSet struct {
+	models map[tscout.OUID]Model
+	// fallback predicts for OUs with no training data: the global mean.
+	fallback float64
+}
+
+// Train fits one model per OU present in the data.
+func Train(points []Point, trainer Trainer) (*OUModelSet, error) {
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	byOU := make(map[tscout.OUID][]Point)
+	var sum float64
+	for _, p := range points {
+		byOU[p.OU] = append(byOU[p.OU], p)
+		sum += p.TargetUS
+	}
+	set := &OUModelSet{
+		models:   make(map[tscout.OUID]Model, len(byOU)),
+		fallback: sum / float64(len(points)),
+	}
+	for ou, pts := range byOU {
+		X := make([][]float64, len(pts))
+		y := make([]float64, len(pts))
+		for i, p := range pts {
+			X[i] = p.Features
+			y[i] = p.TargetUS
+		}
+		m, err := trainer.Train(X, y)
+		if err != nil {
+			return nil, fmt.Errorf("model: OU %d: %w", ou, err)
+		}
+		set.models[ou] = m
+	}
+	return set, nil
+}
+
+// Predict returns the modeled elapsed microseconds for one point.
+func (s *OUModelSet) Predict(p Point) float64 {
+	m, ok := s.models[p.OU]
+	if !ok {
+		return s.fallback
+	}
+	v := m.Predict(p.Features)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// AvgAbsErrorByTemplate computes the paper's headline metric: for each
+// query template, the mean |actual - predicted| in microseconds, averaged
+// over templates (§6: "we measure the absolute error for each query
+// template and then compute the average").
+func (s *OUModelSet) AvgAbsErrorByTemplate(test []Point) float64 {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	groups := make(map[uint64]*agg)
+	for _, p := range test {
+		g, ok := groups[p.Template]
+		if !ok {
+			g = &agg{}
+			groups[p.Template] = g
+		}
+		g.sum += math.Abs(p.TargetUS - s.Predict(p))
+		g.n++
+	}
+	if len(groups) == 0 {
+		return 0
+	}
+	var total float64
+	for _, g := range groups {
+		total += g.sum / float64(g.n)
+	}
+	return total / float64(len(groups))
+}
+
+// FilterSub selects the points of one subsystem.
+func FilterSub(points []Point, sub tscout.SubsystemID) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Sub == sub {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SplitByTemplate holds out a fraction of templates (not rows): the paper
+// holds out 20% of queries by template type (§2.4, §6.6 "New Queries").
+func SplitByTemplate(points []Point, holdFrac float64, seed int64) (train, test []Point) {
+	tmpls := map[uint64]bool{}
+	for _, p := range points {
+		tmpls[p.Template] = true
+	}
+	keys := make([]uint64, 0, len(tmpls))
+	for k := range tmpls {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	nHold := int(float64(len(keys)) * holdFrac)
+	if nHold < 1 && len(keys) > 1 {
+		nHold = 1
+	}
+	held := map[uint64]bool{}
+	for _, k := range keys[:nHold] {
+		held[k] = true
+	}
+	for _, p := range points {
+		if held[p.Template] {
+			test = append(test, p)
+		} else {
+			train = append(train, p)
+		}
+	}
+	return train, test
+}
+
+// SplitRows randomly holds out a fraction of points (row-wise), matching
+// the paper's 5-fold cross-validation protocol for the convergence
+// experiments (§6.5) — unlike SplitByTemplate, test templates also appear
+// in training.
+func SplitRows(points []Point, holdFrac float64, seed int64) (train, test []Point) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(points))
+	nHold := int(float64(len(points)) * holdFrac)
+	if nHold < 1 && len(points) > 1 {
+		nHold = 1
+	}
+	held := map[int]bool{}
+	for _, i := range idx[:nHold] {
+		held[i] = true
+	}
+	for i, p := range points {
+		if held[i] {
+			test = append(test, p)
+		} else {
+			train = append(train, p)
+		}
+	}
+	return train, test
+}
+
+// CrossValidate runs k-fold cross-validation (the paper uses 5-fold) and
+// returns the mean per-template absolute error across folds. extraTrain
+// points (e.g. offline runner data) join every fold's training set.
+func CrossValidate(points []Point, extraTrain []Point, trainer Trainer, k int, seed int64) (float64, error) {
+	if len(points) < k {
+		return 0, fmt.Errorf("model: %d points for %d folds", len(points), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(points))
+	var total float64
+	folds := 0
+	for f := 0; f < k; f++ {
+		var train, test []Point
+		train = append(train, extraTrain...)
+		for i, pi := range idx {
+			if i%k == f {
+				test = append(test, points[pi])
+			} else {
+				train = append(train, points[pi])
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		set, err := Train(train, trainer)
+		if err != nil {
+			return 0, err
+		}
+		total += set.AvgAbsErrorByTemplate(test)
+		folds++
+	}
+	if folds == 0 {
+		return 0, ErrNoData
+	}
+	return total / float64(folds), nil
+}
+
+// Sample returns up to n randomly chosen points (for the convergence
+// experiments that train on increasing dataset sizes, §6.5).
+func Sample(points []Point, n int, seed int64) []Point {
+	if n >= len(points) {
+		return points
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(points))[:n]
+	out := make([]Point, n)
+	for i, pi := range idx {
+		out[i] = points[pi]
+	}
+	return out
+}

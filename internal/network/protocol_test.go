@@ -1,0 +1,96 @@
+package network
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []Message{
+		{Type: MsgQuery, Payload: []byte("SELECT 1")},
+		{Type: MsgResult, Payload: []byte("col\n1\n")},
+		{Type: MsgError, Payload: nil},
+	}
+	out, err := Decode(Encode(in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("messages: %d", len(out))
+	}
+	for i := range in {
+		if out[i].Type != in[i].Type || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Fatalf("message %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEncodeQueryAndScript(t *testing.T) {
+	msgs, err := Decode(EncodeQuery("SELECT 1"))
+	if err != nil || len(msgs) != 1 || msgs[0].Type != MsgQuery {
+		t.Fatalf("EncodeQuery: %v %+v", err, msgs)
+	}
+	msgs, err = Decode(EncodeScript("a", "b", "c"))
+	if err != nil || len(msgs) != 3 {
+		t.Fatalf("EncodeScript: %v %+v", err, msgs)
+	}
+	if string(msgs[1].Payload) != "b" {
+		t.Fatalf("payload order: %q", msgs[1].Payload)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,                            // empty
+		{1, 2, 3},                      // truncated header
+		{MsgQuery, 0, 0, 0, 9},         // truncated payload
+		append(EncodeQuery("x"), 0xFF), // trailing garbage header
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("case %d must be malformed: %v", i, err)
+		}
+	}
+}
+
+func TestDecodeProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		msgs := make([]Message, len(payloads))
+		for i, p := range payloads {
+			msgs[i] = Message{Type: MsgQuery, Payload: p}
+		}
+		out, err := Decode(Encode(msgs...))
+		if err != nil || len(out) != len(msgs) {
+			return false
+		}
+		for i := range out {
+			if !bytes.Equal(out[i].Payload, msgs[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteString(t *testing.T) {
+	cases := map[string]string{
+		"abc":   "'abc'",
+		"it's":  "'it''s'",
+		"":      "''",
+		"'''":   "''''''''",
+		"a'b'c": "'a''b''c'",
+	}
+	for in, want := range cases {
+		if got := QuoteString(in); got != want {
+			t.Fatalf("QuoteString(%q) = %q want %q", in, got, want)
+		}
+	}
+}

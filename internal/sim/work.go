@@ -1,0 +1,63 @@
+package sim
+
+// Work describes the computational footprint of one unit of DBMS activity
+// (typically one operating-unit execution). The simulated kernel converts a
+// Work descriptor into elapsed virtual time and hardware counter deltas
+// using the active HardwareProfile. Operators fill it from the real data
+// volumes they process, so counter values track the workload faithfully.
+type Work struct {
+	// Instructions is the number of retired instructions, before noise.
+	Instructions float64
+	// BytesTouched is the total data volume read or written by the CPU.
+	// It determines cache references.
+	BytesTouched float64
+	// WorkingSetBytes is the size of the data region the accesses are
+	// spread over; it determines the LLC miss rate relative to the
+	// profile's L3 size.
+	WorkingSetBytes float64
+	// RandomAccessFraction in [0,1] scales the penalty of working sets
+	// that exceed the cache: sequential scans prefetch well, index
+	// probes do not.
+	RandomAccessFraction float64
+	// AllocBytes is memory allocated during the unit (tracked by the
+	// user-level memory probe, paper §4.2).
+	AllocBytes int64
+	// DiskReadBytes and DiskWriteBytes are block-IO volumes issued
+	// during the unit.
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+	// DiskOps is the number of distinct IO requests.
+	DiskOps int64
+	// NetRecvBytes and NetSendBytes are socket traffic during the unit.
+	NetRecvBytes int64
+	NetSendBytes int64
+	// NetMessages is the number of protocol messages processed.
+	NetMessages int64
+}
+
+// Add accumulates other into w (used by fused pipelines that execute
+// several OUs under one measurement, paper §5.2).
+func (w *Work) Add(other Work) {
+	w.Instructions += other.Instructions
+	w.BytesTouched += other.BytesTouched
+	if other.WorkingSetBytes > w.WorkingSetBytes {
+		w.WorkingSetBytes = other.WorkingSetBytes
+	}
+	if other.RandomAccessFraction > w.RandomAccessFraction {
+		w.RandomAccessFraction = other.RandomAccessFraction
+	}
+	w.AllocBytes += other.AllocBytes
+	w.DiskReadBytes += other.DiskReadBytes
+	w.DiskWriteBytes += other.DiskWriteBytes
+	w.DiskOps += other.DiskOps
+	w.NetRecvBytes += other.NetRecvBytes
+	w.NetSendBytes += other.NetSendBytes
+	w.NetMessages += other.NetMessages
+}
+
+// IsZero reports whether the descriptor carries no work at all.
+func (w Work) IsZero() bool {
+	return w.Instructions == 0 && w.BytesTouched == 0 && w.AllocBytes == 0 &&
+		w.DiskReadBytes == 0 && w.DiskWriteBytes == 0 &&
+		w.NetRecvBytes == 0 && w.NetSendBytes == 0
+}

@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"testing"
+
+	"tscout/internal/storage"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`CREATE TABLE customer (
+		c_id INT PRIMARY KEY,
+		c_last VARCHAR(16) NOT NULL,
+		c_balance FLOAT,
+		c_data TEXT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "customer" || len(ct.Columns) != 4 {
+		t.Fatalf("%+v", ct)
+	}
+	if ct.Columns[0].Kind != storage.KindInt || !ct.Columns[0].PrimaryKey {
+		t.Fatalf("col0: %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Kind != storage.KindString || ct.Columns[1].FixedBytes != 16 {
+		t.Fatalf("col1: %+v", ct.Columns[1])
+	}
+	if ct.Columns[2].Kind != storage.KindFloat || ct.Columns[3].Kind != storage.KindString {
+		t.Fatalf("kinds: %+v", ct.Columns)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "c_id" {
+		t.Fatalf("pk: %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseCreateTableTablePK(t *testing.T) {
+	st, err := Parse("CREATE TABLE ol (w INT, d INT, o INT, PRIMARY KEY (w, d, o))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.PrimaryKey) != 3 || ct.PrimaryKey[2] != "o" {
+		t.Fatalf("pk: %v", ct.PrimaryKey)
+	}
+	if len(ct.Columns) != 3 {
+		t.Fatalf("cols: %+v", ct.Columns)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := Parse("CREATE UNIQUE INDEX idx ON t (a, b) USING HASH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndexStmt)
+	if !ci.Unique || !ci.Hash || ci.Table != "t" || len(ci.Columns) != 2 {
+		t.Fatalf("%+v", ci)
+	}
+	st2, err := Parse("CREATE INDEX idx2 ON t (a) USING BTREE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*CreateIndexStmt).Hash {
+		t.Fatalf("btree must not be hash")
+	}
+}
+
+func TestParseCreateErrors(t *testing.T) {
+	bad := []string{
+		"CREATE",
+		"CREATE VIEW v",
+		"CREATE TABLE",
+		"CREATE TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a NOSUCHTYPE)",
+		"CREATE TABLE t (a VARCHAR())",
+		"CREATE TABLE t (a INT",
+		"CREATE TABLE t (PRIMARY KEY)",
+		"CREATE INDEX i",
+		"CREATE INDEX i ON t",
+		"CREATE INDEX i ON t ()",
+		"CREATE INDEX i ON t (a) USING ZIPTREE",
+		"CREATE UNIQUE TABLE t (a INT)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("must fail: %q", q)
+		}
+	}
+}
+
+func TestParseVarcharWidthIgnoredForInts(t *testing.T) {
+	// INT(11)-style widths parse but do not set FixedBytes.
+	st, err := Parse("CREATE TABLE t (a INT(11))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*CreateTableStmt).Columns[0].FixedBytes != 0 {
+		t.Fatalf("int width must not set FixedBytes")
+	}
+}

@@ -1,0 +1,401 @@
+package tscout
+
+import (
+	"fmt"
+
+	"tscout/internal/bpf"
+	"tscout/internal/kernel"
+)
+
+// Collector is the kernel-space component generated for one subsystem
+// (paper §3.1-3.2): three verified BPF programs (BEGIN, END, FEATURES)
+// sharing a set of maps. BEGIN pushes an OU invocation entry holding a
+// snapshot of every enabled probe; END computes metric deltas into that
+// entry; FEATURES pops the entry, packages features and metrics into a
+// sample, and submits it to the perf ring buffer for the Processor.
+//
+// Recursion (an OU re-entering before its END, §5.2) is handled by keying
+// entries on (pid, depth); marker-order violations reset the per-task
+// depth and bump an error counter (the strict state machine of §5.1).
+type Collector struct {
+	Subsystem SubsystemID
+	Resources ResourceSet
+
+	Begin    *bpf.LoadedProgram
+	End      *bpf.LoadedProgram
+	Features *bpf.LoadedProgram
+
+	Ring    *bpf.PerfRingBuffer
+	entries *bpf.HashMap
+	depth   *bpf.PerTaskMap
+	errors  *bpf.ArrayMap
+}
+
+// Collector entry layout (12 u64 words): the OU invocation record pushed
+// at BEGIN and completed at END.
+const (
+	entWords   = 12
+	entBytes   = entWords * 8
+	entOU      = 0  // OU id
+	entState   = 1  // 0 = begun, 1 = ended
+	entElapsed = 2  // begin ktime, replaced by elapsed at END
+	entCounter = 3  // 5 words: normalized counters
+	entIOACR   = 8  // ioac read bytes
+	entIOACW   = 9  // ioac write bytes
+	entSockR   = 10 // socket bytes received
+	entSockS   = 11 // socket bytes sent
+)
+
+// Stack frame offsets shared by the generated programs.
+const (
+	offKey     = -8  // map key scratch
+	offScratch = -16 // normalization scratch (enabled)
+	offScratc2 = -24 // normalization scratch (running)
+	offEntry   = -120
+	// The FEATURES program builds the outgoing sample at offSample; the
+	// sample is always submitted at its maximum size with nFeatures
+	// indicating how many feature words are valid (the verifier requires
+	// a compile-time-constant perf_event_output size).
+	offSample = -256 - 48 // leave headroom below the key/scratch slots
+)
+
+// counterOrder fixes the mapping from entry counter words to counters.
+var counterOrder = []kernel.Counter{
+	kernel.CounterCycles, kernel.CounterInstructions, kernel.CounterCacheRefs,
+	kernel.CounterCacheMisses, kernel.CounterRefCycles,
+}
+
+// GenerateCollector runs TScout's Codegen for one subsystem: it emits the
+// three marker programs tailored to the subsystem's resource set (probes
+// for unchecked resources are simply not compiled in, Fig. 3) and loads
+// them through the BPF verifier.
+func GenerateCollector(sub SubsystemID, res ResourceSet, ringCapacity int) (*Collector, error) {
+	c := &Collector{
+		Subsystem: sub,
+		Resources: res,
+		Ring:      bpf.NewPerfRingBuffer("tscout/"+sub.String()+"/ring", ringCapacity),
+		entries:   bpf.NewHashMap("tscout/"+sub.String()+"/entries", 8, entBytes, 4096),
+		depth:     bpf.NewPerTaskMap("tscout/"+sub.String()+"/depth", 8),
+		errors:    bpf.NewArrayMap("tscout/"+sub.String()+"/errors", 8, 1),
+	}
+	var err error
+	if c.Begin, err = bpf.Load(c.genBegin(), 0); err != nil {
+		return nil, fmt.Errorf("BEGIN program: %w", err)
+	}
+	if c.End, err = bpf.Load(c.genEnd(), 0); err != nil {
+		return nil, fmt.Errorf("END program: %w", err)
+	}
+	if c.Features, err = bpf.Load(c.genFeatures(), 0); err != nil {
+		return nil, fmt.Errorf("FEATURES program: %w", err)
+	}
+	return c, nil
+}
+
+// Attach installs the three programs on their tracepoints.
+func (c *Collector) Attach(begin, end, features *kernel.Tracepoint) {
+	c.Begin.Attach(begin)
+	c.End.Attach(end)
+	c.Features.Attach(features)
+}
+
+// ErrorCount returns marker state-machine violations detected in kernel
+// space (paper §5.1).
+func (c *Collector) ErrorCount() int64 {
+	v := c.errors.Lookup(bpf.U64Key(0))
+	if v == nil {
+		return 0
+	}
+	return int64(bpf.U64(v))
+}
+
+// prologue emits the shared preamble: R6 = pid, R7 = per-task depth slot
+// pointer, R8 = depth. errLabel receives control when the depth slot
+// lookup fails (cannot happen at runtime for a per-task map, but the
+// verifier rightly demands the check).
+func (c *Collector) prologue(b *bpf.Builder, depthIdx int, errLabel string) {
+	b.Call(bpf.HelperGetPID).
+		MovReg(bpf.R6, bpf.R0).
+		Store(bpf.R10, offKey, bpf.R6).
+		LoadMapPtr(bpf.R1, depthIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapLookup).
+		Jeq(bpf.R0, 0, errLabel).
+		MovReg(bpf.R7, bpf.R0).
+		Load(bpf.R8, bpf.R7, 0)
+}
+
+// emitEntryKey computes the entries-map key (pid<<8 | depth+adjust) into
+// R9 and spills it to the key slot.
+func emitEntryKey(b *bpf.Builder, adjust int64) {
+	b.MovReg(bpf.R9, bpf.R6).
+		Lsh(bpf.R9, 8).
+		AddReg(bpf.R9, bpf.R8)
+	if adjust != 0 {
+		b.Add(bpf.R9, adjust)
+	}
+	b.Store(bpf.R10, offKey, bpf.R9)
+}
+
+// emitNormCounter emits the §4.1 normalization for one counter into a
+// stack slot: normalized = raw * (enabled<<10 / running) >> 10, computed
+// entirely in kernel space so multiplexed PMU readings are corrected
+// before they ever reach user space.
+func emitNormCounter(b *bpf.Builder, ctr kernel.Counter, dstOff int32) {
+	b.Mov(bpf.R1, int64(ctr)).Mov(bpf.R2, bpf.CounterPartEnabled).
+		Call(bpf.HelperReadCounter).
+		Store(bpf.R10, offScratch, bpf.R0).
+		Mov(bpf.R1, int64(ctr)).Mov(bpf.R2, bpf.CounterPartRunning).
+		Call(bpf.HelperReadCounter).
+		Store(bpf.R10, offScratc2, bpf.R0).
+		Mov(bpf.R1, int64(ctr)).Mov(bpf.R2, bpf.CounterPartRaw).
+		Call(bpf.HelperReadCounter).
+		Load(bpf.R3, bpf.R10, offScratch).
+		Lsh(bpf.R3, 10).
+		Load(bpf.R4, bpf.R10, offScratc2).
+		DivReg(bpf.R3, bpf.R4). // running==0 -> 0 (BPF division semantics)
+		MulReg(bpf.R0, bpf.R3).
+		Rsh(bpf.R0, 10).
+		Store(bpf.R10, dstOff, bpf.R0)
+}
+
+// emitProbeSnapshot fills entry words [entCounter..entSockS] at base with
+// the current probe readings (or zeros for unmonitored resources).
+func (c *Collector) emitProbeSnapshot(b *bpf.Builder, base int32) {
+	if c.Resources.CPU {
+		for i, ctr := range counterOrder {
+			emitNormCounter(b, ctr, base+int32(entCounter+i)*8)
+		}
+	} else {
+		for i := 0; i < 5; i++ {
+			b.StoreImm(bpf.R10, base+int32(entCounter+i)*8, 0)
+		}
+	}
+	if c.Resources.Disk {
+		b.Mov(bpf.R1, bpf.IOACReadBytes).Call(bpf.HelperReadIOAC).
+			Store(bpf.R10, base+entIOACR*8, bpf.R0).
+			Mov(bpf.R1, bpf.IOACWriteBytes).Call(bpf.HelperReadIOAC).
+			Store(bpf.R10, base+entIOACW*8, bpf.R0)
+	} else {
+		b.StoreImm(bpf.R10, base+entIOACR*8, 0).
+			StoreImm(bpf.R10, base+entIOACW*8, 0)
+	}
+	if c.Resources.Network {
+		b.Mov(bpf.R1, bpf.SockBytesReceived).Call(bpf.HelperReadSock).
+			Store(bpf.R10, base+entSockR*8, bpf.R0).
+			Mov(bpf.R1, bpf.SockBytesSent).Call(bpf.HelperReadSock).
+			Store(bpf.R10, base+entSockS*8, bpf.R0)
+	} else {
+		b.StoreImm(bpf.R10, base+entSockR*8, 0).
+			StoreImm(bpf.R10, base+entSockS*8, 0)
+	}
+}
+
+// emitErrorEpilogue emits the shared error/reset tail (paper §5.1): bump
+// the error counter, and for the labels reached after the depth pointer is
+// live, reset the depth to zero, discarding intermediate results.
+func (c *Collector) emitErrorEpilogue(b *bpf.Builder, errIdx int, haveDepthPtr bool,
+	errLabel, doneLabel string) {
+	b.Label(errLabel)
+	if haveDepthPtr {
+		b.Mov(bpf.R3, 0).Store(bpf.R7, 0, bpf.R3)
+	}
+	b.StoreImm(bpf.R10, offKey, 0).
+		LoadMapPtr(bpf.R1, errIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapLookup).
+		Jeq(bpf.R0, 0, doneLabel).
+		Load(bpf.R3, bpf.R0, 0).
+		Add(bpf.R3, 1).
+		Store(bpf.R0, 0, bpf.R3).
+		Label(doneLabel).
+		Mov(bpf.R0, 1).
+		Exit()
+}
+
+// genBegin generates the BEGIN-marker program: push an OU invocation
+// entry with a snapshot of the enabled probes.
+func (c *Collector) genBegin() *bpf.Program {
+	b := bpf.NewBuilder("tscout/" + c.Subsystem.String() + "/begin")
+	entriesIdx := b.AddMap(c.entries)
+	depthIdx := b.AddMap(c.depth)
+	errIdx := b.AddMap(c.errors)
+
+	c.prologue(b, depthIdx, "err_early")
+	b.Jge(bpf.R8, MaxOUDepth, "err_reset")
+
+	// Entry word 0: OU id from the tracepoint argument.
+	b.Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
+		Store(bpf.R10, offEntry+entOU*8, bpf.R0).
+		// Word 1: state = begun.
+		StoreImm(bpf.R10, offEntry+entState*8, 0)
+	// Word 2: begin timestamp.
+	b.Call(bpf.HelperKtime).
+		Store(bpf.R10, offEntry+entElapsed*8, bpf.R0)
+	c.emitProbeSnapshot(b, offEntry)
+
+	// entries[pid<<8|depth] = entry.
+	emitEntryKey(b, 0)
+	b.LoadMapPtr(bpf.R1, entriesIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		MovReg(bpf.R3, bpf.R10).Sub(bpf.R3, -offEntry).
+		Call(bpf.HelperMapUpdate)
+
+	// depth++.
+	b.Add(bpf.R8, 1).
+		Store(bpf.R7, 0, bpf.R8).
+		Mov(bpf.R0, 0).
+		Exit()
+
+	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	return b.MustBuild()
+}
+
+// emitEntryLookup loads the top-of-stack entry pointer into R6 (consuming
+// the pid there) for END/FEATURES: key = pid<<8 | depth-1.
+func emitEntryLookup(b *bpf.Builder, entriesIdx int, errLabel string) {
+	emitEntryKey(b, -1)
+	b.LoadMapPtr(bpf.R1, entriesIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapLookup).
+		Jeq(bpf.R0, 0, errLabel).
+		MovReg(bpf.R6, bpf.R0)
+}
+
+// genEnd generates the END-marker program: re-read the probes, compute
+// deltas into the invocation entry, and mark it ended.
+func (c *Collector) genEnd() *bpf.Program {
+	b := bpf.NewBuilder("tscout/" + c.Subsystem.String() + "/end")
+	entriesIdx := b.AddMap(c.entries)
+	depthIdx := b.AddMap(c.depth)
+	errIdx := b.AddMap(c.errors)
+
+	c.prologue(b, depthIdx, "err_early")
+	b.Jeq(bpf.R8, 0, "err_reset") // END without BEGIN
+	emitEntryLookup(b, entriesIdx, "err_reset")
+
+	// State must be "begun" and the OU id must match the marker's.
+	b.Load(bpf.R1, bpf.R6, entState*8).
+		Jne(bpf.R1, 0, "err_reset").
+		Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
+		Load(bpf.R2, bpf.R6, entOU*8).
+		JneReg(bpf.R0, bpf.R2, "err_reset")
+
+	// Elapsed time.
+	b.Call(bpf.HelperKtime).
+		Load(bpf.R2, bpf.R6, entElapsed*8).
+		SubReg(bpf.R0, bpf.R2).
+		Store(bpf.R6, entElapsed*8, bpf.R0)
+
+	// Current snapshot into the scratch entry area, then delta each word.
+	c.emitProbeSnapshot(b, offEntry)
+	for w := entCounter; w <= entSockS; w++ {
+		b.Load(bpf.R1, bpf.R10, offEntry+int32(w)*8). // current
+								Load(bpf.R2, bpf.R6, int32(w)*8). // begin
+								SubReg(bpf.R1, bpf.R2).
+								Store(bpf.R6, int32(w)*8, bpf.R1)
+	}
+
+	b.StoreImm(bpf.R6, entState*8, 1). // mark ended
+						Mov(bpf.R0, 0).
+						Exit()
+
+	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	return b.MustBuild()
+}
+
+// genFeatures generates the FEATURES-marker program: pop the completed
+// entry, merge the DBMS-provided features and user-level metrics, build
+// the sample, and perf_event_output it to the Processor.
+//
+// Tracepoint arguments: arg0 = OU id (or FusedOUID for vectorized feature
+// samples, §5.2), arg1 = user-level memory probe bytes (§4.2),
+// arg2 = feature word count, arg3.. = feature words.
+func (c *Collector) genFeatures() *bpf.Program {
+	b := bpf.NewBuilder("tscout/" + c.Subsystem.String() + "/features")
+	entriesIdx := b.AddMap(c.entries)
+	depthIdx := b.AddMap(c.depth)
+	errIdx := b.AddMap(c.errors)
+	ringIdx := b.AddMap(c.Ring)
+
+	c.prologue(b, depthIdx, "err_early")
+	b.Jeq(bpf.R8, 0, "err_reset")
+
+	// Sample word 1: pid (stored before R6 is repurposed).
+	b.Store(bpf.R10, offSample+8, bpf.R6)
+
+	emitEntryLookup(b, entriesIdx, "err_reset")
+
+	// Entry must be in the "ended" state.
+	b.Load(bpf.R1, bpf.R6, entState*8).
+		Jne(bpf.R1, 1, "err_reset")
+
+	// OU id check: arg0 must equal the entry's OU or be the fused marker.
+	b.Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
+		MovReg(bpf.R9, bpf.R0).
+		Load(bpf.R2, bpf.R6, entOU*8).
+		JeqReg(bpf.R9, bpf.R2, "ou_ok").
+		Jne(bpf.R9, int64(FusedOUID), "err_reset").
+		Label("ou_ok").
+		Store(bpf.R10, offSample+0, bpf.R9). // sample word 0: OU id
+		StoreImm(bpf.R10, offSample+16, 0)   // word 2: flags
+
+	// Word 3: nFeatures (bounded for the unrolled copy below).
+	b.Mov(bpf.R1, 2).Call(bpf.HelperGetArg).
+		MovReg(bpf.R9, bpf.R0).
+		Jgt(bpf.R9, MaxFeatures, "err_reset").
+		Store(bpf.R10, offSample+24, bpf.R9)
+
+	// Metrics from the entry.
+	metricSrc := [][2]int32{
+		{entElapsed, mwElapsed},
+		{entCounter + 0, mwCycles},
+		{entCounter + 1, mwInstructions},
+		{entCounter + 2, mwCacheRefs},
+		{entCounter + 3, mwCacheMisses},
+		{entCounter + 4, mwRefCycles},
+		{entIOACR, mwDiskRead},
+		{entIOACW, mwDiskWrite},
+		{entSockR, mwNetRecv},
+		{entSockS, mwNetSend},
+	}
+	for _, sm := range metricSrc {
+		b.Load(bpf.R1, bpf.R6, sm[0]*8).
+			Store(bpf.R10, offSample+int32(sampleHeaderWords+int(sm[1]))*8, bpf.R1)
+	}
+	// Memory metric from the user-level probe (arg1).
+	b.Mov(bpf.R1, 1).Call(bpf.HelperGetArg).
+		Store(bpf.R10, offSample+int32(sampleHeaderWords+mwAlloc)*8, bpf.R0)
+
+	// Zero the feature area, then copy up to nFeatures argument words.
+	// The copy is fully unrolled: the verifier tracks exact stack offsets,
+	// so a moving-pointer loop would not verify — and the unrolled form is
+	// also what BCC-era clang emitted for constant-bound loops.
+	featBase := offSample + int32(sampleFixedWords)*8
+	for i := 0; i < MaxFeatures; i++ {
+		b.StoreImm(bpf.R10, featBase+int32(i)*8, 0)
+	}
+	for i := 0; i < MaxFeatures; i++ {
+		b.Jle(bpf.R9, int64(i), "copy_done").
+			Mov(bpf.R1, int64(3+i)).Call(bpf.HelperGetArg).
+			Store(bpf.R10, featBase+int32(i)*8, bpf.R0)
+	}
+	b.Label("copy_done")
+
+	// Submit the sample (fixed maximum size; nFeatures bounds validity).
+	b.LoadMapPtr(bpf.R1, ringIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, int64(-offSample)).
+		Mov(bpf.R3, int64(SampleMaxBytes)).
+		Call(bpf.HelperPerfOutput)
+
+	// Pop: depth--.
+	b.Sub(bpf.R8, 1).
+		Store(bpf.R7, 0, bpf.R8).
+		Mov(bpf.R0, 0).
+		Exit()
+
+	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	return b.MustBuild()
+}

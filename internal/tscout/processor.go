@@ -1,0 +1,378 @@
+package tscout
+
+import (
+	"fmt"
+	"sync"
+
+	"tscout/internal/kernel"
+)
+
+// Processor virtual-time costs.
+const (
+	// processSampleNS is the per-sample decode/transform/archive cost on
+	// the Processor's own thread. It bounds the Processor's throughput,
+	// which in turn drives drops and the §3.2 feedback mechanism.
+	processSampleNS = 900
+	// pollBaseNS is the fixed cost of one drain cycle.
+	pollBaseNS = 900
+)
+
+// feedbackDropThreshold is the drop fraction above which the Processor
+// asks the Sampler to back off (paper §3.2: "if the Processor cannot keep
+// up, it has a feedback mechanism to decrease the sampling rate").
+const feedbackDropThreshold = 0.10
+
+// userQueueCapacity bounds the user-probe handoff queue; like the kernel
+// ring buffer, it drops rather than blocking the DBMS. The user-space
+// retrieval path is substantially slower per sample than the in-kernel
+// one, which is why user-mode data generation plateaus at low sampling
+// rates in Fig. 6.
+const userQueueCapacity = 4096
+
+// userDrainPenalty is how many times more expensive one user-probe sample
+// is to retrieve than one kernel ring sample.
+const userDrainPenalty = 3
+
+// BudgetForPeriod returns how many samples the single-threaded Processor
+// can handle in one drain period of the given virtual length.
+func BudgetForPeriod(periodNS int64) int {
+	b := int(periodNS / processSampleNS)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Sink receives finished training points (e.g. a CSV writer, cloud
+// uploader). A nil sink keeps points only in the in-memory archive.
+type Sink interface {
+	Write(p TrainingPoint) error
+}
+
+// SplitWeightFunc apportions a fused sample's metrics across its OUs
+// (paper §5.2/§6: "we preprocess the DBMS's online models to break
+// multiple OUs per operation into per-OU data points using offline
+// models"). It returns a relative weight for one OU's share; weights are
+// normalized over the sample. The default splits equally.
+type SplitWeightFunc func(ou OUID, features []float64) float64
+
+// Processor is TScout's user-space component (paper §3.2): it drains
+// completed samples from the Collector's perf ring buffers (kernel mode)
+// or the user-probe queue (user modes), transforms them into training
+// points, and archives them.
+type Processor struct {
+	ts   *TScout
+	sink Sink
+	task *kernel.Task
+
+	mu            sync.Mutex
+	userQueue     [][]byte
+	userDropped   int64
+	userSubmitted int64
+	lastSubmitted int64 // kernel rings + user queue, at the previous poll
+	archive       []TrainingPoint
+	processed     int64
+	decodeErrors  int64
+	sinkErrors    int64
+	lastDropped   map[SubsystemID]int64
+	splitter      SplitWeightFunc
+}
+
+// NewProcessor creates the Processor for a deployment.
+func NewProcessor(ts *TScout, sink Sink) *Processor {
+	return &Processor{
+		ts:          ts,
+		sink:        sink,
+		lastDropped: make(map[SubsystemID]int64),
+	}
+}
+
+// SetSplitter installs the fused-sample metric splitter.
+func (p *Processor) SetSplitter(f SplitWeightFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.splitter = f
+}
+
+// SubmitUserSample enqueues a sample produced by a user-level probe,
+// dropping it if the bounded queue is full.
+func (p *Processor) SubmitUserSample(buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.userSubmitted++
+	if len(p.userQueue) >= userQueueCapacity {
+		p.userDropped++
+		return
+	}
+	p.userQueue = append(p.userQueue, buf)
+}
+
+// UserDropped reports samples lost to user-queue overflow.
+func (p *Processor) UserDropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.userDropped
+}
+
+// Task returns the Processor's own kernel task (created on first use), on
+// which its processing time is charged. The Processor is single-threaded,
+// as in the paper's evaluation setup.
+func (p *Processor) Task() *kernel.Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.task == nil {
+		p.task = p.ts.kernel.NewTask("tscout-processor")
+	}
+	return p.task
+}
+
+// Poll drains all pending samples without a budget: the offline path,
+// where the Processor has idle time between sweeps.
+func (p *Processor) Poll() int { return p.PollBudget(0) }
+
+// PollBudget drains up to budget samples (0 = unlimited), transforms
+// them, and archives them, returning the number of training points
+// produced. The workload driver calls it on the Processor's schedule with
+// the budget one drain period affords; sustained oversubmission therefore
+// overwrites ring entries (kernel path) or overflows the user queue, and
+// the Processor's efficiency degrades under overload — the §6.2 dynamics
+// behind Fig. 6's peak-then-decline curve.
+func (p *Processor) PollBudget(budget int) int {
+	task := p.Task()
+	task.ChargeUserNS(pollBaseNS)
+
+	kernelBudget, userBudget := 0, 0
+	if budget > 0 {
+		// Demand-aware efficiency: arrival rate since the last poll
+		// beyond the thread's capacity degrades it (queue thrash).
+		var submitted int64
+		for _, sub := range AllSubsystems {
+			if col := p.ts.CollectorFor(sub); col != nil {
+				submitted += col.Ring.Submitted()
+			}
+		}
+		p.mu.Lock()
+		submitted += p.userSubmitted * userDrainPenalty
+		demand := submitted - p.lastSubmitted
+		p.lastSubmitted = submitted
+		p.mu.Unlock()
+		eff := float64(budget)
+		if demand > int64(budget) {
+			eff = float64(budget) / (1 + 0.35*(float64(demand)/float64(budget)-1))
+		}
+		kernelBudget = int(eff)
+		if kernelBudget < 1 {
+			kernelBudget = 1
+		}
+		userBudget = kernelBudget / userDrainPenalty
+		if userBudget < 1 {
+			userBudget = 1
+		}
+	}
+
+	var raw [][]byte
+	for _, sub := range AllSubsystems {
+		col := p.ts.CollectorFor(sub)
+		if col == nil {
+			continue
+		}
+		raw = append(raw, col.Ring.Drain(kernelBudget)...)
+	}
+	p.mu.Lock()
+	if userBudget > 0 && userBudget < len(p.userQueue) {
+		raw = append(raw, p.userQueue[:userBudget]...)
+		p.userQueue = append([][]byte(nil), p.userQueue[userBudget:]...)
+	} else {
+		raw = append(raw, p.userQueue...)
+		p.userQueue = nil
+	}
+	p.mu.Unlock()
+
+	n := 0
+	for _, buf := range raw {
+		task.ChargeUserNS(processSampleNS)
+		pts, err := p.transform(buf)
+		if err != nil {
+			p.mu.Lock()
+			p.decodeErrors++
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Lock()
+		for _, tp := range pts {
+			p.archive = append(p.archive, tp)
+			p.processed++
+			if p.sink != nil {
+				if err := p.sink.Write(tp); err != nil {
+					p.sinkErrors++
+				}
+			}
+		}
+		p.mu.Unlock()
+		n += len(pts)
+	}
+
+	if !p.ts.cfg.DisableProcessorFeedback {
+		p.applyFeedback()
+	}
+	return n
+}
+
+// transform decodes a wire sample into training points, expanding fused
+// samples into per-OU points with apportioned metrics.
+func (p *Processor) transform(buf []byte) ([]TrainingPoint, error) {
+	s, err := DecodeSample(buf)
+	if err != nil {
+		return nil, err
+	}
+	if s.OU != FusedOUID {
+		def, ok := p.ts.OU(s.OU)
+		if !ok {
+			return nil, fmt.Errorf("tscout: sample for unregistered OU %d", s.OU)
+		}
+		return []TrainingPoint{pointFor(def, s.PID, s.Features, s.Metrics)}, nil
+	}
+
+	parts, err := DecodeFusedFeatures(s.Features)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	split := p.splitter
+	p.mu.Unlock()
+
+	weights := make([]float64, len(parts))
+	var total float64
+	for i, part := range parts {
+		w := 1.0
+		if split != nil {
+			w = split(part.OU, floats(part.Features))
+			if w <= 0 {
+				w = 1e-9
+			}
+		}
+		weights[i] = w
+		total += w
+	}
+	out := make([]TrainingPoint, 0, len(parts))
+	for i, part := range parts {
+		def, ok := p.ts.OU(part.OU)
+		if !ok {
+			return nil, fmt.Errorf("tscout: fused sample for unregistered OU %d", part.OU)
+		}
+		out = append(out, pointFor(def, s.PID, part.Features, scaleMetrics(s.Metrics, weights[i]/total)))
+	}
+	return out, nil
+}
+
+func pointFor(def *OUDef, pid int, feats []uint64, m Metrics) TrainingPoint {
+	f := floats(feats)
+	if len(f) > len(def.Features) {
+		f = f[:len(def.Features)]
+	}
+	return TrainingPoint{
+		OU:           def.ID,
+		OUName:       def.Name,
+		Subsystem:    def.Subsystem,
+		PID:          pid,
+		Features:     f,
+		FeatureNames: def.Features,
+		Metrics:      m,
+	}
+}
+
+func floats(words []uint64) []float64 {
+	out := make([]float64, len(words))
+	for i, w := range words {
+		out[i] = float64(w)
+	}
+	return out
+}
+
+func scaleMetrics(m Metrics, f float64) Metrics {
+	return Metrics{
+		ElapsedNS:      int64(float64(m.ElapsedNS) * f),
+		Cycles:         uint64(float64(m.Cycles) * f),
+		Instructions:   uint64(float64(m.Instructions) * f),
+		CacheRefs:      uint64(float64(m.CacheRefs) * f),
+		CacheMisses:    uint64(float64(m.CacheMisses) * f),
+		RefCycles:      uint64(float64(m.RefCycles) * f),
+		DiskReadBytes:  int64(float64(m.DiskReadBytes) * f),
+		DiskWriteBytes: int64(float64(m.DiskWriteBytes) * f),
+		NetRecvBytes:   int64(float64(m.NetRecvBytes) * f),
+		NetSendBytes:   int64(float64(m.NetSendBytes) * f),
+		AllocBytes:     int64(float64(m.AllocBytes) * f),
+	}
+}
+
+// applyFeedback lowers sampling rates for subsystems whose ring buffers
+// are overwriting faster than the Processor drains (paper §3.2).
+func (p *Processor) applyFeedback() {
+	for _, sub := range AllSubsystems {
+		col := p.ts.CollectorFor(sub)
+		if col == nil {
+			continue
+		}
+		dropped := col.Ring.Dropped()
+		submitted := col.Ring.Submitted()
+		p.mu.Lock()
+		deltaDrop := dropped - p.lastDropped[sub]
+		p.lastDropped[sub] = dropped
+		p.mu.Unlock()
+		if submitted == 0 || deltaDrop == 0 {
+			continue
+		}
+		if float64(deltaDrop) > feedbackDropThreshold*float64(submitted) {
+			rate := p.ts.sampler.Rate(sub)
+			if rate > 1 {
+				p.ts.sampler.SetRate(sub, rate*8/10)
+			}
+		}
+	}
+}
+
+// Points returns a snapshot of the archived training points.
+func (p *Processor) Points() []TrainingPoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]TrainingPoint(nil), p.archive...)
+}
+
+// PointsFor returns the archived points for one subsystem.
+func (p *Processor) PointsFor(sub SubsystemID) []TrainingPoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []TrainingPoint
+	for _, tp := range p.archive {
+		if tp.Subsystem == sub {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// Processed returns the total number of training points produced.
+func (p *Processor) Processed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed
+}
+
+// DecodeErrors returns the number of undecodable samples seen.
+func (p *Processor) DecodeErrors() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.decodeErrors
+}
+
+// Reset clears the archive and statistics (between experiment trials).
+func (p *Processor) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.archive = nil
+	p.processed = 0
+	p.decodeErrors = 0
+	p.sinkErrors = 0
+	p.userQueue = nil
+	p.lastDropped = make(map[SubsystemID]int64)
+}

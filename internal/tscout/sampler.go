@@ -1,0 +1,77 @@
+package tscout
+
+import (
+	"sync"
+
+	"tscout/internal/sim"
+)
+
+// SamplingBits is the width of each subsystem's sampling bit field
+// (paper §5.3: "TS maintains a 100-bit field for each subsystem").
+const SamplingBits = 100
+
+// Sampler implements TScout's per-subsystem adjustable sampling. Each
+// subsystem has a 100-bit field; a rate of N% sets N randomly-placed bits.
+// The random placement de-bursts collection: without shuffling, a
+// transaction's query sequence could fall entirely inside the sampling
+// window and see much higher latency than its peers. Each thread keeps its
+// own offset into the field and advances it per candidate event.
+type Sampler struct {
+	mu    sync.Mutex
+	noise *sim.Noise
+	bits  [NumSubsystems][SamplingBits]bool
+	rates [NumSubsystems]int
+}
+
+// NewSampler creates a sampler with all rates at 0%.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{noise: sim.NewNoise(seed, 0)}
+}
+
+// SetRate sets a subsystem's sampling rate in percent (clamped to
+// [0,100]) by regenerating its bit field with rate bits set at shuffled
+// positions. Rates are adjustable at runtime without redeploying
+// (the Fig. 8 experiment toggles them live).
+func (s *Sampler) SetRate(sub SubsystemID, rate int) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 100 {
+		rate = 100
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rates[sub] = rate
+	var field [SamplingBits]bool
+	perm := s.noise.Perm(SamplingBits)
+	for i := 0; i < rate; i++ {
+		field[perm[i]] = true
+	}
+	s.bits[sub] = field
+}
+
+// SetAllRates sets every subsystem to the same rate.
+func (s *Sampler) SetAllRates(rate int) {
+	for _, sub := range AllSubsystems {
+		s.SetRate(sub, rate)
+	}
+}
+
+// Rate returns a subsystem's configured rate in percent.
+func (s *Sampler) Rate(sub SubsystemID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rates[sub]
+}
+
+// ShouldSample consults the bit at *offset for the subsystem and advances
+// the offset (wrapping at the field width). The caller owns the offset —
+// one per thread, per the paper: "each thread maintains offsets to index
+// into the bit fields".
+func (s *Sampler) ShouldSample(sub SubsystemID, offset *int) bool {
+	s.mu.Lock()
+	bit := s.bits[sub][*offset%SamplingBits]
+	s.mu.Unlock()
+	*offset = (*offset + 1) % SamplingBits
+	return bit
+}

@@ -1,0 +1,86 @@
+package tscout
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// CSVSink streams training points to an io.Writer as CSV, one row per
+// point — the "write it to the appropriate output target" role of the
+// Processor (§3.2). The final format is configurable in the paper's
+// framework; CSV matches what NoisePage's model-training pipeline consumed.
+//
+// Columns: ou, ou_name, subsystem, pid, the 11 metrics of MetricNames,
+// then feature values paired as name=value (feature sets differ per OU).
+type CSVSink struct {
+	mu sync.Mutex
+	w  *csv.Writer
+	n  int64
+}
+
+// NewCSVSink creates a sink and writes the header row.
+func NewCSVSink(w io.Writer) (*CSVSink, error) {
+	s := &CSVSink{w: csv.NewWriter(w)}
+	header := append([]string{"ou", "ou_name", "subsystem", "pid"}, MetricNames...)
+	header = append(header, "features")
+	if err := s.w.Write(header); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(p TrainingPoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := p.Metrics
+	row := []string{
+		strconv.Itoa(int(p.OU)), p.OUName, p.Subsystem.String(), strconv.Itoa(p.PID),
+		strconv.FormatInt(m.ElapsedNS, 10),
+		strconv.FormatUint(m.Cycles, 10),
+		strconv.FormatUint(m.Instructions, 10),
+		strconv.FormatUint(m.CacheRefs, 10),
+		strconv.FormatUint(m.CacheMisses, 10),
+		strconv.FormatUint(m.RefCycles, 10),
+		strconv.FormatInt(m.DiskReadBytes, 10),
+		strconv.FormatInt(m.DiskWriteBytes, 10),
+		strconv.FormatInt(m.NetRecvBytes, 10),
+		strconv.FormatInt(m.NetSendBytes, 10),
+		strconv.FormatInt(m.AllocBytes, 10),
+	}
+	feats := ""
+	for i, f := range p.Features {
+		name := fmt.Sprintf("f%d", i)
+		if i < len(p.FeatureNames) {
+			name = p.FeatureNames[i]
+		}
+		if i > 0 {
+			feats += ";"
+		}
+		feats += fmt.Sprintf("%s=%g", name, f)
+	}
+	row = append(row, feats)
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Flush forces buffered rows out and reports the first write error.
+func (s *CSVSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Rows returns the number of points written.
+func (s *CSVSink) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,280 @@
+// Package txn implements HyPer-style multi-version concurrency control for
+// the DBMS substrate: snapshot reads against commit-timestamped version
+// chains, first-updater-wins write-write conflict detection, and
+// commit/abort installation. Version garbage collection is out of scope
+// for the short-lived experiment runs (chains stay shallow because updates
+// by the same transaction collapse in place).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tscout/internal/storage"
+)
+
+// ErrWriteConflict is returned when a write loses first-updater-wins.
+var ErrWriteConflict = errors.New("txn: write-write conflict")
+
+// ErrNotActive is returned for operations on finished transactions.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StateCommitted
+	StateAborted
+)
+
+// WriteKind classifies a write for redo logging.
+type WriteKind int
+
+// Write kinds.
+const (
+	WriteInsert WriteKind = iota
+	WriteUpdate
+	WriteDelete
+)
+
+// Write records one tuple write for commit installation and WAL redo.
+type Write struct {
+	Kind    WriteKind
+	Table   *storage.Table
+	TID     storage.TupleID
+	Version *storage.Version
+	// RedoBytes is the log payload size this write will produce.
+	RedoBytes int64
+}
+
+// Manager allocates transaction IDs and commit timestamps.
+type Manager struct {
+	mu        sync.Mutex
+	nextTxnID uint64
+	commitTS  uint64
+}
+
+// NewManager creates a transaction manager. Commit timestamps start at 1;
+// loader transactions committed through the manager are visible to all
+// later snapshots.
+func NewManager() *Manager {
+	return &Manager{nextTxnID: 1, commitTS: 1}
+}
+
+// Begin starts a transaction with a snapshot at the current commit
+// timestamp.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextTxnID
+	m.nextTxnID++
+	return &Txn{mgr: m, ID: id, ReadTS: m.commitTS, state: StateActive}
+}
+
+// LastCommitTS returns the newest commit timestamp.
+func (m *Manager) LastCommitTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitTS
+}
+
+func (m *Manager) nextCommitTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitTS++
+	return m.commitTS
+}
+
+// Txn is one transaction.
+type Txn struct {
+	mgr    *Manager
+	ID     uint64
+	ReadTS uint64
+	state  State
+	writes []Write
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Writes returns the transaction's write set (for WAL record generation).
+func (t *Txn) Writes() []Write { return t.writes }
+
+// RedoBytes returns the total log payload the transaction will emit.
+func (t *Txn) RedoBytes() int64 {
+	var n int64
+	for _, w := range t.writes {
+		n += w.RedoBytes
+	}
+	return n
+}
+
+// visible reports whether version v is visible to this transaction.
+func (t *Txn) visible(v *storage.Version) bool {
+	if v.TxnID != 0 {
+		return v.TxnID == t.ID
+	}
+	return v.Begin <= t.ReadTS && t.ReadTS < v.End
+}
+
+// Read returns the visible row for a tuple slot (nil if none) along with
+// the number of versions walked, which the execution engine charges as
+// version-chain traversal work.
+func (t *Txn) Read(tbl *storage.Table, id storage.TupleID) (storage.Row, int) {
+	walked := 0
+	for v := tbl.Head(id); v != nil; v = v.Next {
+		walked++
+		if t.visible(v) {
+			if v.Deleted {
+				return nil, walked
+			}
+			return v.Values, walked
+		}
+	}
+	return nil, walked
+}
+
+// Insert appends a new tuple owned by this transaction.
+func (t *Txn) Insert(tbl *storage.Table, row storage.Row) (storage.TupleID, error) {
+	if t.state != StateActive {
+		return storage.InvalidTupleID, ErrNotActive
+	}
+	if err := tbl.Schema().Validate(row); err != nil {
+		return storage.InvalidTupleID, err
+	}
+	v := &storage.Version{TxnID: t.ID, End: storage.InfinityTS, Values: row.Clone()}
+	id := tbl.Append(v)
+	t.writes = append(t.writes, Write{
+		Kind: WriteInsert, Table: tbl, TID: id, Version: v,
+		RedoBytes: row.Size() + redoHeaderBytes,
+	})
+	return id, nil
+}
+
+// redoHeaderBytes is the fixed per-record WAL overhead.
+const redoHeaderBytes = 24
+
+// Update installs a new version of the tuple with the given row. It fails
+// with ErrWriteConflict if another transaction owns the newest version or
+// committed it after this transaction's snapshot.
+func (t *Txn) Update(tbl *storage.Table, id storage.TupleID, row storage.Row) error {
+	return t.write(tbl, id, row, false)
+}
+
+// Delete installs a tombstone version for the tuple.
+func (t *Txn) Delete(tbl *storage.Table, id storage.TupleID) error {
+	return t.write(tbl, id, nil, true)
+}
+
+func (t *Txn) write(tbl *storage.Table, id storage.TupleID, row storage.Row, del bool) error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	if !del {
+		if err := tbl.Schema().Validate(row); err != nil {
+			return err
+		}
+	}
+	head := tbl.Head(id)
+	if head == nil {
+		return fmt.Errorf("txn: tuple %d does not exist", id)
+	}
+	if head.TxnID != 0 && head.TxnID != t.ID {
+		return ErrWriteConflict
+	}
+	if head.TxnID == 0 && head.Begin > t.ReadTS {
+		return ErrWriteConflict // committed after our snapshot: first updater wins
+	}
+	if head.TxnID == t.ID {
+		// Second write by the same transaction: collapse in place.
+		head.Deleted = del
+		if !del {
+			head.Values = row.Clone()
+		}
+		t.writes = append(t.writes, Write{
+			Kind: kindFor(del), Table: tbl, TID: id, Version: head,
+			RedoBytes: rowBytes(row) + redoHeaderBytes,
+		})
+		return nil
+	}
+	v := &storage.Version{
+		TxnID: t.ID, End: storage.InfinityTS, Deleted: del, Next: head,
+	}
+	if !del {
+		v.Values = row.Clone()
+	}
+	if !tbl.CompareAndSetHead(id, head, v) {
+		return ErrWriteConflict // someone raced us to the slot
+	}
+	t.writes = append(t.writes, Write{
+		Kind: kindFor(del), Table: tbl, TID: id, Version: v,
+		RedoBytes: rowBytes(row) + redoHeaderBytes,
+	})
+	return nil
+}
+
+func kindFor(del bool) WriteKind {
+	if del {
+		return WriteDelete
+	}
+	return WriteUpdate
+}
+
+func rowBytes(r storage.Row) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Size()
+}
+
+// Commit makes the transaction's writes durable in the version store and
+// returns the commit timestamp. WAL persistence is the caller's concern
+// (the DBMS session hands the write set to the log serializer).
+func (t *Txn) Commit() (uint64, error) {
+	if t.state != StateActive {
+		return 0, ErrNotActive
+	}
+	ts := t.mgr.nextCommitTS()
+	for _, w := range t.writes {
+		w.Version.Begin = ts
+		w.Version.TxnID = 0
+		if w.Version.Next != nil {
+			w.Version.Next.End = ts
+		}
+	}
+	t.state = StateCommitted
+	return ts, nil
+}
+
+// Abort rolls the transaction back: updated/deleted slots get their old
+// heads restored; inserted slots become permanently-invisible tombstones.
+func (t *Txn) Abort() error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		w := t.writes[i]
+		if w.Kind == WriteInsert {
+			w.Version.TxnID = 0
+			w.Version.Begin = 0
+			w.Version.End = 0
+			w.Version.Deleted = true
+			continue
+		}
+		// Only unlink if this write's version is still the head (in-place
+		// collapses share versions; restoring once suffices).
+		if w.Table.Head(w.TID) == w.Version && w.Version.Next != nil {
+			w.Table.SetHead(w.TID, w.Version.Next)
+		} else if w.Table.Head(w.TID) == w.Version {
+			w.Version.TxnID = 0
+			w.Version.Begin = 0
+			w.Version.End = 0
+			w.Version.Deleted = true
+		}
+	}
+	t.state = StateAborted
+	return nil
+}

@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"testing"
+
+	"tscout/internal/kernel"
+	"tscout/internal/sim"
+	"tscout/internal/tscout"
+)
+
+func testRecords(txn uint64, n int) []Record {
+	var out []Record
+	for i := 0; i < n; i++ {
+		out = append(out, Record{Kind: RecordUpdate, TxnID: txn, Table: "t", Bytes: 100})
+	}
+	out = append(out, Record{Kind: RecordCommit, TxnID: txn, Bytes: 16})
+	return out
+}
+
+func newWAL(t *testing.T, cfg Config) (*Serializer, *tscout.TScout) {
+	t.Helper()
+	k := kernel.New(sim.LargeHW, 1, 0)
+	ts := tscout.New(k, tscout.Config{Seed: 2})
+	serM := ts.MustRegisterOU(tscout.OUDef{
+		ID: 50, Name: "log_serializer", Subsystem: tscout.SubsystemLogSerializer,
+		Features: []string{"num_records", "bytes", "num_txns"},
+	}, tscout.ResourceSet{CPU: true, Memory: true})
+	wrM := ts.MustRegisterOU(tscout.OUDef{
+		ID: 51, Name: "disk_writer", Subsystem: tscout.SubsystemDiskWriter,
+		Features: []string{"bytes", "num_records"},
+	}, tscout.ResourceSet{CPU: true, Disk: true})
+	if err := ts.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Sampler().SetAllRates(100)
+	return New(k, ts, serM, wrM, cfg), ts
+}
+
+func TestGroupCommitBatchesBySize(t *testing.T) {
+	s, _ := newWAL(t, Config{GroupSize: 3, FlushIntervalNS: 1_000_000})
+	c1 := s.Submit(testRecords(1, 2), 100)
+	c2 := s.Submit(testRecords(2, 2), 200)
+	if c1.Resolved || c2.Resolved {
+		t.Fatalf("must wait for the group")
+	}
+	if s.PendingCount() != 2 {
+		t.Fatalf("pending: %d", s.PendingCount())
+	}
+	c3 := s.Submit(testRecords(3, 2), 300) // trips GroupSize
+	if !c1.Resolved || !c2.Resolved || !c3.Resolved {
+		t.Fatalf("group flush must resolve all members")
+	}
+	if c1.DoneNS != c3.DoneNS {
+		t.Fatalf("group members share a durability time: %d vs %d", c1.DoneNS, c3.DoneNS)
+	}
+	if c1.DoneNS <= 300 {
+		t.Fatalf("flush must take time: %d", c1.DoneNS)
+	}
+	flushes, recs, bytes := s.Stats()
+	if flushes != 1 || recs != 9 || bytes <= 0 {
+		t.Fatalf("stats: %d %d %d", flushes, recs, bytes)
+	}
+}
+
+func TestGroupCommitFlushByDeadline(t *testing.T) {
+	s, _ := newWAL(t, Config{GroupSize: 100, FlushIntervalNS: 1000})
+	c := s.Submit(testRecords(1, 1), 500)
+	s.Tick(1000) // before deadline (500+1000)
+	if c.Resolved {
+		t.Fatalf("too early")
+	}
+	if dl := s.NextDeadline(); dl != 1500 {
+		t.Fatalf("deadline: %d", dl)
+	}
+	s.Tick(1500)
+	if !c.Resolved {
+		t.Fatalf("deadline flush")
+	}
+	if s.NextDeadline() != -1 {
+		t.Fatalf("no pending after flush")
+	}
+}
+
+func TestSynchronousMode(t *testing.T) {
+	s, _ := newWAL(t, Config{Synchronous: true})
+	c := s.Submit(testRecords(1, 1), 0)
+	if !c.Resolved {
+		t.Fatalf("synchronous commits resolve immediately")
+	}
+	flushes, _, _ := s.Stats()
+	if flushes != 1 {
+		t.Fatalf("flushes: %d", flushes)
+	}
+}
+
+func TestGroupCommitAmortizes(t *testing.T) {
+	// Per-transaction durability cost must drop with batch size: the
+	// group-commit effect the paper's offline runners miss (§6.5).
+	perTxnCost := func(group int, txns int) int64 {
+		s, _ := newWAL(t, Config{GroupSize: group, FlushIntervalNS: 1 << 40})
+		var last *Commit
+		for i := 0; i < txns; i++ {
+			last = s.Submit(testRecords(uint64(i), 2), 0)
+		}
+		if !last.Resolved {
+			t.Fatalf("batch must flush at group size")
+		}
+		return last.DoneNS / int64(txns)
+	}
+	single := perTxnCost(1, 1)
+	batched := perTxnCost(32, 32)
+	if batched >= single {
+		t.Fatalf("group commit must amortize: batched %d >= single %d", batched, single)
+	}
+	if single < batched*3 {
+		t.Fatalf("amortization too weak: single %d vs batched %d", single, batched)
+	}
+}
+
+func TestWALEmitsTrainingData(t *testing.T) {
+	s, ts := newWAL(t, Config{GroupSize: 2, FlushIntervalNS: 1 << 40})
+	s.Submit(testRecords(1, 3), 0)
+	s.Submit(testRecords(2, 3), 10)
+	ts.Processor().Poll()
+	pts := ts.Processor().Points()
+	if len(pts) != 2 {
+		t.Fatalf("expected serializer + writer points, got %d", len(pts))
+	}
+	var ser, wr *tscout.TrainingPoint
+	for i := range pts {
+		switch pts[i].Subsystem {
+		case tscout.SubsystemLogSerializer:
+			ser = &pts[i]
+		case tscout.SubsystemDiskWriter:
+			wr = &pts[i]
+		}
+	}
+	if ser == nil || wr == nil {
+		t.Fatalf("missing subsystems: %+v", pts)
+	}
+	if ser.Features[0] != 8 { // 2 txns x (3 updates + commit)
+		t.Fatalf("serializer num_records: %v", ser.Features)
+	}
+	if ser.Features[2] != 2 {
+		t.Fatalf("serializer num_txns: %v", ser.Features)
+	}
+	if wr.Metrics.DiskWriteBytes <= 0 {
+		t.Fatalf("disk writer must report IO: %+v", wr.Metrics)
+	}
+	if ser.Metrics.ElapsedNS <= 0 || wr.Metrics.ElapsedNS <= 0 {
+		t.Fatalf("elapsed metrics missing")
+	}
+}
+
+func TestUninstrumentedWAL(t *testing.T) {
+	k := kernel.New(sim.LargeHW, 1, 0)
+	s := New(k, nil, nil, nil, Config{Synchronous: true})
+	c := s.Submit(testRecords(1, 1), 0)
+	if !c.Resolved || c.DoneNS <= 0 {
+		t.Fatalf("uninstrumented WAL must still work: %+v", c)
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	s, _ := newWAL(t, Config{})
+	s.Flush(100)
+	if f, _, _ := s.Stats(); f != 0 {
+		t.Fatalf("empty flush must not count")
+	}
+	s.Tick(1 << 30) // nothing pending
+}

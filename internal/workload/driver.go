@@ -1,0 +1,252 @@
+// Package workload implements the paper's five evaluation workloads (YCSB
+// read-only, SmallBank with the added Transfer transaction, TATP, TPC-C,
+// and the CH-benCHmark HTAP mix) plus the discrete-event driver that runs
+// them against the simulated DBMS: terminals execute transactions in
+// virtual-time order, commits block on the group-commit WAL, and the
+// TScout Processor polls on its own schedule.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tscout/internal/dbms"
+	"tscout/internal/tscout"
+	"tscout/internal/wal"
+)
+
+// Generator is one benchmark: schema+load plus a transaction mix.
+type Generator interface {
+	Name() string
+	// Setup creates the schema and loads the data (uninstrumented).
+	Setup(srv *dbms.Server) error
+	// Txn runs one transaction on the session, returning the WAL commit
+	// handle (nil for read-only) or an error. Serialization conflicts
+	// are returned as errors satisfying dbms.IsConflict.
+	Txn(se *dbms.Session, rng *rand.Rand) (*wal.Commit, error)
+}
+
+// Config tunes one driver run.
+type Config struct {
+	// Terminals is the number of concurrent clients.
+	Terminals int
+	// Transactions is the total transaction budget (completed+aborted).
+	Transactions int
+	// Seed drives the terminals' randomness.
+	Seed int64
+	// ProcessorPollNS is the Processor's drain period in virtual time
+	// (default 100µs); 0 disables polling for uninstrumented runs.
+	ProcessorPollNS int64
+	// ContextSwitchesPerTxn models scheduler activity per transaction
+	// (default 2: one dispatch, one IO wait).
+	ContextSwitchesPerTxn int
+	// ExternalCollect makes every terminal use EXPLAIN-based external
+	// feature collection (§2.2) instead of relying on TScout markers.
+	ExternalCollect bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Terminals <= 0 {
+		c.Terminals = 1
+	}
+	if c.Transactions <= 0 {
+		c.Transactions = 1000
+	}
+	if c.ProcessorPollNS == 0 {
+		c.ProcessorPollNS = 100_000
+	}
+	if c.ContextSwitchesPerTxn == 0 {
+		c.ContextSwitchesPerTxn = 2
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Completed int
+	Aborted   int
+	// ElapsedNS is the virtual makespan of the run.
+	ElapsedNS int64
+	// ThroughputTPS is completed transactions per virtual second.
+	ThroughputTPS float64
+	// P50NS and P99NS are transaction latency percentiles.
+	P50NS, P99NS int64
+	// MeanNS is the mean transaction latency.
+	MeanNS int64
+	// TrainingPoints is the number of points the Processor archived
+	// during the run (instrumented runs only).
+	TrainingPoints int64
+	// SamplesPerSec is the training-data generation rate.
+	SamplesPerSec float64
+}
+
+type terminal struct {
+	se      *dbms.Session
+	rng     *rand.Rand
+	pending *wal.Commit
+	startNS int64
+}
+
+// Run drives the generator against the server until the transaction
+// budget is exhausted.
+func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	srv.Kernel.SetLoadFactor(float64(cfg.Terminals))
+	defer srv.Kernel.SetLoadFactor(1)
+
+	terms := make([]*terminal, cfg.Terminals)
+	for i := range terms {
+		terms[i] = &terminal{
+			se:  srv.NewSession(),
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+		terms[i].se.ExternalCollect = cfg.ExternalCollect
+	}
+
+	var (
+		res        Result
+		latencies  []int64
+		lastPoll   int64
+		basePoints int64
+	)
+	if srv.TS != nil {
+		basePoints = srv.TS.Processor().Processed()
+	}
+
+	finish := func(t *terminal, endNS int64) {
+		latencies = append(latencies, endNS-t.startNS)
+		res.Completed++
+	}
+
+	started := 0
+	for res.Completed+res.Aborted < cfg.Transactions {
+		// Unblock terminals whose group commit resolved.
+		progressed := false
+		for _, t := range terms {
+			if t.pending != nil && t.pending.Resolved {
+				t.se.Task.Clock.AdvanceTo(t.pending.DoneNS)
+				finish(t, t.se.Task.Now())
+				t.pending = nil
+				progressed = true
+			}
+		}
+		if res.Completed+res.Aborted >= cfg.Transactions {
+			break
+		}
+
+		// Pick the runnable terminal furthest behind in virtual time,
+		// but only start new work while budget remains.
+		var next *terminal
+		if started < cfg.Transactions {
+			for _, t := range terms {
+				if t.pending != nil {
+					continue
+				}
+				if next == nil || t.se.Task.Now() < next.se.Task.Now() {
+					next = t
+				}
+			}
+		}
+
+		// Everyone blocked: the WAL's flush deadline is the next event.
+		if next == nil {
+			dl := srv.WAL.NextDeadline()
+			if dl < 0 {
+				if progressed {
+					continue
+				}
+				return res, fmt.Errorf("workload: deadlock — all terminals blocked with no WAL deadline")
+			}
+			srv.WAL.Tick(dl)
+			continue
+		}
+
+		now := next.se.Task.Now()
+		// Flush any overdue group-commit batch before running further.
+		srv.WAL.Tick(now)
+
+		// The Processor drains on its own schedule, with the sample
+		// budget one drain period affords its single thread.
+		if srv.TS != nil && cfg.ProcessorPollNS > 0 && now-lastPoll >= cfg.ProcessorPollNS {
+			srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(cfg.ProcessorPollNS))
+			lastPoll = now
+		}
+
+		next.startNS = now
+		started++
+		for i := 0; i < cfg.ContextSwitchesPerTxn; i++ {
+			next.se.Task.ContextSwitch()
+		}
+		commit, err := gen.Txn(next.se, next.rng)
+		switch {
+		case err != nil && dbms.IsConflict(err):
+			res.Aborted++
+		case err != nil:
+			return res, fmt.Errorf("workload %s: %w", gen.Name(), err)
+		case commit == nil:
+			finish(next, next.se.Task.Now())
+		case commit.Resolved:
+			next.se.Task.Clock.AdvanceTo(commit.DoneNS)
+			finish(next, next.se.Task.Now())
+		default:
+			next.pending = commit
+		}
+	}
+
+	// Final flush so no terminal's time is left dangling, then one last
+	// budgeted drain covering the time since the previous poll. Samples
+	// still buffered when the run ends stay undelivered, as they would
+	// in a real deployment snapshot.
+	if dl := srv.WAL.NextDeadline(); dl >= 0 {
+		srv.WAL.Tick(dl)
+	}
+	if srv.TS != nil && cfg.ProcessorPollNS > 0 {
+		var maxNow int64
+		for _, t := range terms {
+			if n := t.se.Task.Now(); n > maxNow {
+				maxNow = n
+			}
+		}
+		period := maxNow - lastPoll
+		if period < cfg.ProcessorPollNS {
+			period = cfg.ProcessorPollNS
+		}
+		srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(period))
+		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+	} else if srv.TS != nil {
+		srv.TS.Processor().Poll()
+		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+	}
+
+	// Makespan: terminals run in parallel up to the core budget.
+	var maxNS, totalNS int64
+	for _, t := range terms {
+		now := t.se.Task.Now()
+		totalNS += now
+		if now > maxNS {
+			maxNS = now
+		}
+	}
+	cores := int64(srv.Kernel.Profile.Cores)
+	elapsed := maxNS
+	if byCPU := totalNS / cores; byCPU > elapsed {
+		elapsed = byCPU
+	}
+	res.ElapsedNS = elapsed
+	if elapsed > 0 {
+		res.ThroughputTPS = float64(res.Completed) / (float64(elapsed) / 1e9)
+		res.SamplesPerSec = float64(res.TrainingPoints) / (float64(elapsed) / 1e9)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50NS = latencies[len(latencies)/2]
+		res.P99NS = latencies[len(latencies)*99/100]
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanNS = sum / int64(len(latencies))
+	}
+	return res, nil
+}

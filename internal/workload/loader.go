@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+
+	"tscout/internal/dbms"
+	"tscout/internal/storage"
+)
+
+// bulkLoad inserts rows into a table through the transaction layer,
+// maintaining all indexes, in batches. Loading happens before measurement
+// and charges no virtual time (the paper loads its databases before every
+// experiment too).
+func bulkLoad(srv *dbms.Server, table string, rows []storage.Row) error {
+	tbl, err := srv.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	const batch = 4096
+	for start := 0; start < len(rows); start += batch {
+		end := start + batch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		tx := srv.TxnMgr.Begin()
+		for _, row := range rows[start:end] {
+			tid, err := tx.Insert(tbl.Heap, row)
+			if err != nil {
+				_ = tx.Abort()
+				return fmt.Errorf("workload: loading %s: %w", table, err)
+			}
+			for _, ix := range tbl.Indexes {
+				ix.Insert(ix.KeyFor(row), tid)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ints and strs shorten row construction in the loaders.
+func iv(v int64) storage.Value   { return storage.NewInt(v) }
+func fv(v float64) storage.Value { return storage.NewFloat(v) }
+func sv(v string) storage.Value  { return storage.NewString(v) }
+func itoa(v int64) string        { return fmt.Sprintf("%d", v) }
+func pad(s string, n int) string {
+	for len(s) < n {
+		s += "x"
+	}
+	return s
+}
