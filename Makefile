@@ -1,0 +1,30 @@
+# Tier-1 verification: everything CI (and the ROADMAP) requires.
+# `make check` is the gate a change must pass before merging.
+
+GO ?= go
+
+.PHONY: check build vet test race bench figures
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the virtual-time experiment suite ~10x past
+# go test's default 10m deadline, so give the run an explicit budget.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Substrate micro-benchmarks (single-shot; drop -benchtime for real runs).
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Regenerate every figure at quick scale.
+figures:
+	$(GO) run ./cmd/tsbench all

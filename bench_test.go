@@ -154,6 +154,61 @@ func BenchmarkSummaryHeadlineClaims(b *testing.B) {
 
 // --- Substrate micro-benchmarks -------------------------------------------
 
+// BenchmarkProcessorShardedVsSingle drives sustained full-rate traffic into
+// all four subsystem rings and drains with budgeted polls, comparing the
+// single-threaded Processor against a 4-thread sharded one. The metric is
+// training samples drained per virtual second; sharding must meet or beat
+// the single-thread plateau since the global budget scales with
+// parallelism while the arrival rate stays fixed.
+func BenchmarkProcessorShardedVsSingle(b *testing.B) {
+	const (
+		periodNS  = 100_000
+		perPeriod = 60 // samples per subsystem per period: oversubscribes one thread
+	)
+	run := func(b *testing.B, parallelism int) {
+		k := kernel.New(sim.LargeHW, 1, 0)
+		ts := tscout.New(k, tscout.Config{
+			Seed: 1, ProcessorParallelism: parallelism,
+			DisableProcessorFeedback: true,
+		})
+		subs := []tscout.SubsystemID{
+			tscout.SubsystemExecutionEngine, tscout.SubsystemNetworking,
+			tscout.SubsystemLogSerializer, tscout.SubsystemDiskWriter,
+		}
+		for i, sub := range subs {
+			ts.MustRegisterOU(tscout.OUDef{
+				ID: tscout.OUID(50 + i), Name: sub.String() + "_ou", Subsystem: sub,
+				Features: []string{"a", "b"},
+			}, tscout.ResourceSet{CPU: true})
+		}
+		if err := ts.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		ts.Sampler().SetAllRates(100)
+		p := ts.Processor()
+		budget := tscout.BudgetForPeriod(periodNS)
+		var drained int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, sub := range subs {
+				col := ts.CollectorFor(sub)
+				for s := 0; s < perPeriod; s++ {
+					col.Ring.Submit(tscout.EncodeSample(
+						tscout.OUID(50+j), 1, tscout.Metrics{ElapsedNS: 5}, []uint64{1, 2}))
+				}
+			}
+			drained += int64(p.PollBudget(budget))
+		}
+		b.StopTimer()
+		virtualSec := float64(b.N) * periodNS / 1e9
+		if virtualSec > 0 {
+			b.ReportMetric(float64(drained)/virtualSec, "samples/vsec")
+		}
+	}
+	b.Run("single", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded-4", func(b *testing.B) { run(b, 4) })
+}
+
 // BenchmarkCollectorInvocation measures one full BEGIN/END/FEATURES marker
 // cycle through the generated, verified BPF Collector — the per-OU cost
 // the paper's overhead numbers are built from.

@@ -119,6 +119,8 @@ func fig6(sc experiment.Scale) error {
 	}
 	header("Figure 6: training-data generation vs sampling rate (20 clients)")
 	printOverhead(rows, func(r experiment.OverheadRow) float64 { return r.SamplesPerSec / 1000 }, "k samples/s")
+	fmt.Println("\nPipeline drop fraction (ring overwrite + queue overflow), from Processor telemetry:")
+	printOverhead(rows, func(r experiment.OverheadRow) float64 { return r.Stats.DropFraction() * 100 }, "% dropped")
 	return nil
 }
 
@@ -173,7 +175,9 @@ func fig8(sc experiment.Scale) error {
 	}
 	header("Figure 8: adjustable sampling timeline (YCSB, 20 clients)")
 	for _, r := range rows {
-		fmt.Printf("%-22s %10.0f txns/s\n", r.Phase, r.ThroughputTPS)
+		fmt.Printf("%-22s %10.0f txns/s   points=%d drops=%d polls=%d\n",
+			r.Phase, r.ThroughputTPS,
+			r.Stats.Processed, r.Stats.TotalDropped(), r.Stats.Polls)
 	}
 	return nil
 }

@@ -12,6 +12,10 @@
 //	tsctl disasm <subsystem>    disassemble a Collector's three programs
 //	                            (execution-engine, networking,
 //	                             log-serializer, disk-writer)
+//	tsctl stats                 run a short instrumented burst and print
+//	                            the Processor pipeline's self-observed
+//	                            telemetry (per-subsystem drain counters,
+//	                            budgets, feedback actions)
 package main
 
 import (
@@ -23,12 +27,13 @@ import (
 	"tscout/internal/dbms"
 	"tscout/internal/tscout"
 	"tscout/internal/wal"
+	"tscout/internal/workload"
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>")
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats")
 		os.Exit(2)
 	}
 	srv, err := dbms.NewServer(dbms.Config{
@@ -60,6 +65,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tsctl: %v\n", err)
 			os.Exit(1)
 		}
+	case "stats":
+		if err := stats(srv); err != nil {
+			fmt.Fprintf(os.Stderr, "tsctl: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "tsctl: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -85,6 +95,44 @@ func listOUs(srv *dbms.Server) {
 		def, _ := srv.TS.OU(r.id)
 		fmt.Printf("%4d %-18s %-18s %v\n", r.id, r.name, r.sub.String(), def.Features)
 	}
+}
+
+// stats drives a short fully-sampled YCSB burst through the instrumented
+// server and prints the Processor's self-observed pipeline telemetry: the
+// per-subsystem drain-shard counters an operator would check to tell a
+// healthy collector from a saturated one.
+func stats(srv *dbms.Server) error {
+	gen := &workload.YCSB{Records: 2000}
+	if err := gen.Setup(srv); err != nil {
+		return err
+	}
+	srv.TS.Sampler().SetAllRates(100)
+	res, err := workload.Run(srv, gen, workload.Config{
+		Terminals: 8, Transactions: 3000, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Processor
+	fmt.Printf("burst: %d txns, %.0f txns/s, %d training points\n\n",
+		res.Completed, res.ThroughputTPS, res.TrainingPoints)
+	fmt.Printf("%-18s %10s %10s %10s %8s %8s %8s %8s\n",
+		"shard", "submitted", "drained", "dropped", "decerr", "padded", "trunc", "points")
+	printShard := func(name string, s tscout.SubsystemStats) {
+		fmt.Printf("%-18s %10d %10d %10d %8d %8d %8d %8d\n",
+			name, s.Submitted, s.Drained, s.Dropped,
+			s.DecodeErrors, s.PaddedFeatures, s.TruncatedFeatures, s.Points)
+	}
+	for _, sub := range tscout.AllSubsystems {
+		printShard(sub.String(), st.Kernel[sub])
+	}
+	printShard("user-queue", st.User)
+	fmt.Printf("\npolls=%d parallelism=%d global-budget=%d effective-budget=%d\n",
+		st.Polls, st.Parallelism, st.GlobalBudget, st.EffectiveBudget)
+	fmt.Printf("feedback-actions=%d flush-queue-drops=%d pending-flush=%d processed=%d\n",
+		st.FeedbackActions, st.FlushQueueDrops, st.PendingFlush, st.Processed)
+	fmt.Printf("drop-fraction=%.3f\n", st.DropFraction())
+	return nil
 }
 
 func disasm(srv *dbms.Server, subName string) error {

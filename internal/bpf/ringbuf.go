@@ -88,20 +88,56 @@ func (r *PerfRingBuffer) Submit(data []byte) {
 // Drain removes and returns up to max samples in submission order. A max
 // of 0 or less drains everything.
 func (r *PerfRingBuffer) Drain(max int) [][]byte {
+	out, _ := r.DrainAppend(nil, max)
+	return out
+}
+
+// DrainAppend is the batched drain path: it removes up to max samples
+// (0 or less = everything) in submission order, appends them to dst, and
+// returns the extended slice plus the number drained. One lock acquisition
+// covers the whole batch, so a sharded Processor pays the synchronization
+// cost once per drain period rather than once per sample.
+func (r *PerfRingBuffer) DrainAppend(dst [][]byte, max int) ([][]byte, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := r.count
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([][]byte, 0, n)
+	if cap(dst)-len(dst) < n {
+		grown := make([][]byte, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := 0; i < n; i++ {
-		out = append(out, r.entries[r.head])
+		dst = append(dst, r.entries[r.head])
 		r.entries[r.head] = nil
 		r.head = (r.head + 1) % r.capacity
 	}
 	r.count -= n
-	return out
+	return dst, n
+}
+
+// RingStats is a consistent snapshot of a ring buffer's counters, taken
+// under one lock so submitted/dropped/pending cannot tear against a
+// concurrent Submit (the accounting hazard behind stale feedback deltas).
+type RingStats struct {
+	Submitted int64 // cumulative Submit calls
+	Dropped   int64 // cumulative overwrites
+	Pending   int   // samples currently buffered
+	Capacity  int
+}
+
+// Stats returns an atomic snapshot of the buffer's counters.
+func (r *PerfRingBuffer) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingStats{
+		Submitted: r.submitted,
+		Dropped:   r.dropped,
+		Pending:   r.count,
+		Capacity:  r.capacity,
+	}
 }
 
 // Submitted returns the total number of Submit calls.

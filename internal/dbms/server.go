@@ -44,6 +44,9 @@ type Config struct {
 	// DisableFeedback turns off the Processor's automatic sampling-rate
 	// reduction (useful for fixed-rate experiments).
 	DisableFeedback bool
+	// ProcessorParallelism sets the number of modeled Processor drain
+	// threads (0 = the paper's single-threaded Processor).
+	ProcessorParallelism int
 	// WAL tunes group commit.
 	WAL wal.Config
 	// FuseSimpleSelects enables the §5.2 fused pipeline path.
@@ -83,6 +86,7 @@ func NewServer(cfg Config) (*Server, error) {
 		ts = tscout.New(k, tscout.Config{
 			Mode: cfg.Mode, Seed: cfg.Seed, RingCapacity: cfg.RingCapacity,
 			DisableProcessorFeedback: cfg.DisableFeedback,
+			ProcessorParallelism:     cfg.ProcessorParallelism,
 		})
 	}
 	eng, err := exec.New(srv.Catalog, ts)

@@ -188,7 +188,7 @@ func Fig11(sc Scale) ([]Fig11Row, error) {
 	offEE := model.FilterSub(offline, tscout.SubsystemExecutionEngine)
 	var rows []Fig11Row
 	for _, terminals := range []int{2, 5, 10, 20} {
-		online, err := collectOnline(defaultProfile(), tpccGen(2), terminals,
+		online, err := collectOnlineComplete(defaultProfile(), tpccGen(2), terminals,
 			sc.OnlineTxns, 100, int64(82+terminals))
 		if err != nil {
 			return nil, err

@@ -105,19 +105,54 @@ type onlineRun struct {
 }
 
 // collectOnline runs a workload with TScout at the given sampling rate and
-// returns the collected training data.
+// returns the collected training data. It uses the paper's deployment
+// configuration — single-threaded Processor, default ring depth, budgeted
+// polls — so overload drops samples exactly as a production collector
+// would.
 func collectOnline(profile sim.HardwareProfile, gen workload.Generator,
 	terminals, txns int, rate int, seed int64) (*onlineRun, error) {
 	srv, err := newServer(profile, tscout.KernelContinuous, true, seed, false)
 	if err != nil {
 		return nil, err
 	}
+	return runOnline(srv, profile, gen, terminals, txns, rate, seed, false)
+}
+
+// collectOnlineComplete is the data-hungry variant: four sharded drain
+// threads, a deep ring, and an unbudgeted final sweep, so no sample is
+// lost to collector saturation. Experiments whose conclusions depend on
+// the training pool covering the whole run (Fig. 11's high-contention
+// sweep, where 20 terminals oversubscribe a single drain thread several
+// times over) collect with this; the rest keep the production-shaped
+// lossy pipeline.
+func collectOnlineComplete(profile sim.HardwareProfile, gen workload.Generator,
+	terminals, txns int, rate int, seed int64) (*onlineRun, error) {
+	srv, err := dbms.NewServer(dbms.Config{
+		Profile:              profile,
+		Seed:                 seed,
+		NoiseSigma:           noiseSigma,
+		Instrument:           true,
+		Mode:                 tscout.KernelContinuous,
+		DisableFeedback:      true,
+		ProcessorParallelism: 4,
+		RingCapacity:         1 << 17,
+		WAL:                  wal.Config{GroupSize: 32, FlushIntervalNS: 200_000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runOnline(srv, profile, gen, terminals, txns, rate, seed, true)
+}
+
+func runOnline(srv *dbms.Server, profile sim.HardwareProfile, gen workload.Generator,
+	terminals, txns int, rate int, seed int64, finalDrain bool) (*onlineRun, error) {
 	if err := gen.Setup(srv); err != nil {
 		return nil, err
 	}
 	srv.TS.Sampler().SetAllRates(rate)
 	res, err := workload.Run(srv, gen, workload.Config{
 		Terminals: terminals, Transactions: txns, Seed: seed,
+		FinalDrain: finalDrain,
 	})
 	if err != nil {
 		return nil, err

@@ -58,6 +58,10 @@ type OverheadRow struct {
 	Rate          int
 	ThroughputTPS float64
 	SamplesPerSec float64
+	// Stats is the Processor's end-of-run pipeline telemetry: drop
+	// fractions and budget degradation explain the peak-then-decline of
+	// Fig. 6 directly from the collector's own counters.
+	Stats tscout.ProcessorStats
 }
 
 // fig56Workloads builds the four OLTP workloads of §6.2. TPC-C's
@@ -102,6 +106,7 @@ func Fig5and6(sc Scale) ([]OverheadRow, error) {
 					Rate:          rate,
 					ThroughputTPS: res.ThroughputTPS,
 					SamplesPerSec: res.SamplesPerSec,
+					Stats:         res.Processor,
 				})
 			}
 		}
@@ -114,6 +119,8 @@ type Fig8Row struct {
 	Phase         string
 	Rates         map[tscout.SubsystemID]int
 	ThroughputTPS float64
+	// Stats snapshots the Processor pipeline at the end of the phase.
+	Stats tscout.ProcessorStats
 }
 
 // Fig8 reproduces Figure 8 (adjustable sampling): YCSB runs through three
@@ -155,7 +162,8 @@ func Fig8(sc Scale) ([]Fig8Row, error) {
 			return nil, err
 		}
 		rows = append(rows, Fig8Row{
-			Phase: fmt.Sprintf(ph.name), Rates: ph.rates, ThroughputTPS: res.ThroughputTPS,
+			Phase: fmt.Sprintf(ph.name), Rates: ph.rates,
+			ThroughputTPS: res.ThroughputTPS, Stats: res.Processor,
 		})
 	}
 	return rows, nil

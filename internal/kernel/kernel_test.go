@@ -273,3 +273,45 @@ func TestChargeUserNS(t *testing.T) {
 		t.Fatalf("user charge: now=%d instr=%d", task.Now(), task.UserInstrumentationNS)
 	}
 }
+
+func TestTaskGroupAccounting(t *testing.T) {
+	k := newTestKernel()
+	g := k.NewTaskGroup("proc", 3)
+	if g.Size() != 3 {
+		t.Fatalf("size: %d", g.Size())
+	}
+	// Distinct PIDs and names per member thread.
+	seen := map[int]bool{}
+	for i := 0; i < g.Size(); i++ {
+		if seen[g.Task(i).PID] {
+			t.Fatalf("duplicate PID %d", g.Task(i).PID)
+		}
+		seen[g.Task(i).PID] = true
+	}
+	// Uneven work: makespan is the max, instrumentation the sum.
+	g.Task(0).ChargeUserNS(100)
+	g.Task(1).ChargeUserNS(700)
+	g.Task(2).ChargeUserNS(250)
+	if g.Now() != 700 {
+		t.Fatalf("makespan: %d", g.Now())
+	}
+	if got := g.UserInstrumentationNS(); got != 1050 {
+		t.Fatalf("total instrumentation: %d", got)
+	}
+	// Barrier: all threads wake together at the makespan.
+	if ns := g.Barrier(); ns != 700 {
+		t.Fatalf("barrier: %d", ns)
+	}
+	for i := 0; i < g.Size(); i++ {
+		if g.Task(i).Now() != 700 {
+			t.Fatalf("thread %d not synced: %d", i, g.Task(i).Now())
+		}
+	}
+}
+
+func TestTaskGroupMinimumSize(t *testing.T) {
+	k := newTestKernel()
+	if g := k.NewTaskGroup("proc", 0); g.Size() != 1 {
+		t.Fatalf("group must have at least one thread: %d", g.Size())
+	}
+}

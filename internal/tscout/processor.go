@@ -2,24 +2,30 @@ package tscout
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"tscout/internal/bpf"
 	"tscout/internal/kernel"
 )
 
 // Processor virtual-time costs.
 const (
 	// processSampleNS is the per-sample decode/transform/archive cost on
-	// the Processor's own thread. It bounds the Processor's throughput,
+	// a Processor drain thread. It bounds the Processor's throughput,
 	// which in turn drives drops and the §3.2 feedback mechanism.
 	processSampleNS = 900
-	// pollBaseNS is the fixed cost of one drain cycle.
+	// pollBaseNS is the fixed cost of one drain cycle per thread.
 	pollBaseNS = 900
 )
 
-// feedbackDropThreshold is the drop fraction above which the Processor
-// asks the Sampler to back off (paper §3.2: "if the Processor cannot keep
-// up, it has a feedback mechanism to decrease the sampling rate").
+// feedbackDropThreshold is the per-period drop fraction above which the
+// Processor asks the Sampler to back off (paper §3.2: "if the Processor
+// cannot keep up, it has a feedback mechanism to decrease the sampling
+// rate"). Both sides of the comparison are per-period deltas: comparing a
+// period's drops against the run's cumulative submissions would make the
+// trigger decay toward never firing as the run ages.
 const feedbackDropThreshold = 0.10
 
 // userQueueCapacity bounds the user-probe handoff queue; like the kernel
@@ -30,11 +36,21 @@ const feedbackDropThreshold = 0.10
 const userQueueCapacity = 4096
 
 // userDrainPenalty is how many times more expensive one user-probe sample
-// is to retrieve than one kernel ring sample.
+// is to retrieve than one kernel ring sample. Budget tokens and drain-
+// thread time are both charged at this multiple.
 const userDrainPenalty = 3
 
-// BudgetForPeriod returns how many samples the single-threaded Processor
-// can handle in one drain period of the given virtual length.
+// flushQueueCapacity bounds the sink handoff queue. Sink writes happen
+// outside every Processor lock; if the sink cannot keep up the queue drops
+// points (counted in stats) rather than stalling sample intake.
+const flushQueueCapacity = 8192
+
+// userShard indexes the user-probe queue's slice of the drain pipeline in
+// per-shard arrays (after the NumSubsystems kernel ring shards).
+const userShard = int(NumSubsystems)
+
+// BudgetForPeriod returns how many samples one Processor drain thread can
+// handle in one drain period of the given virtual length.
 func BudgetForPeriod(periodNS int64) int {
 	b := int(periodNS / processSampleNS)
 	if b < 1 {
@@ -44,7 +60,9 @@ func BudgetForPeriod(periodNS int64) int {
 }
 
 // Sink receives finished training points (e.g. a CSV writer, cloud
-// uploader). A nil sink keeps points only in the in-memory archive.
+// uploader). A nil sink keeps points only in the in-memory archive. Sink
+// writes are issued outside all Processor locks, so a Sink may call back
+// into the Processor (stats, submissions) without deadlocking.
 type Sink interface {
 	Write(p TrainingPoint) error
 }
@@ -56,35 +74,72 @@ type Sink interface {
 // normalized over the sample. The default splits equally.
 type SplitWeightFunc func(ou OUID, features []float64) float64
 
-// Processor is TScout's user-space component (paper §3.2): it drains
-// completed samples from the Collector's perf ring buffers (kernel mode)
-// or the user-probe queue (user modes), transforms them into training
-// points, and archives them.
+// archEntry tags an archived point with a global sequence number so the
+// per-subsystem shard archives can be merged back into processing order.
+type archEntry struct {
+	seq uint64
+	tp  TrainingPoint
+}
+
+// drainShard is one subsystem's slice of the drain pipeline: its archive
+// segment and its telemetry counters. Sharding keeps archive appends and
+// stat updates off the Processor-wide mutex, and lets PointsFor serve a
+// subsystem without scanning the merged archive.
+type drainShard struct {
+	mu      sync.Mutex
+	archive []archEntry
+	stats   SubsystemStats
+}
+
+func (s *drainShard) snapshotStats() SubsystemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Processor is TScout's user-space component (paper §3.2), rebuilt as a
+// sharded, budgeted, self-observable pipeline: per-subsystem drain shards
+// share one global token budget per drain period (a single thread-period
+// times the configured parallelism), decode/transform runs batched per
+// shard on the modeled drain threads, archives are sharded per subsystem
+// and merged on read, and sink writes leave through a bounded flush queue
+// outside every lock.
 type Processor struct {
 	ts   *TScout
 	sink Sink
-	task *kernel.Task
 
-	mu            sync.Mutex
-	userQueue     [][]byte
-	userDropped   int64
-	userSubmitted int64
-	lastSubmitted int64 // kernel rings + user queue, at the previous poll
-	archive       []TrainingPoint
-	processed     int64
-	decodeErrors  int64
-	sinkErrors    int64
-	lastDropped   map[SubsystemID]int64
-	splitter      SplitWeightFunc
+	// pollMu serializes drain cycles: the modeled drain threads (kernel
+	// tasks) are not safe for concurrent charging, and budget accounting
+	// is per-period.
+	pollMu sync.Mutex
+
+	shards [NumSubsystems]*drainShard
+	seq    atomic.Uint64
+
+	mu                  sync.Mutex
+	group               *kernel.TaskGroup
+	userQueue           [][]byte
+	userStats           SubsystemStats
+	lastRing            [NumSubsystems]bpf.RingStats
+	lastUserSubmitted   int64
+	lastUserDropped     int64
+	splitter            SplitWeightFunc
+	pendingFlush        []TrainingPoint
+	flushDrops          int64
+	processed           int64
+	polls               int64
+	lastGlobalBudget    int
+	lastEffectiveBudget int
+	feedbackActions     int64
 }
 
 // NewProcessor creates the Processor for a deployment.
 func NewProcessor(ts *TScout, sink Sink) *Processor {
-	return &Processor{
-		ts:          ts,
-		sink:        sink,
-		lastDropped: make(map[SubsystemID]int64),
+	p := &Processor{ts: ts, sink: sink}
+	for i := range p.shards {
+		p.shards[i] = &drainShard{}
 	}
+	return p
 }
 
 // SetSplitter installs the fused-sample metric splitter.
@@ -94,133 +149,410 @@ func (p *Processor) SetSplitter(f SplitWeightFunc) {
 	p.splitter = f
 }
 
+// Parallelism returns the number of modeled drain threads.
+func (p *Processor) Parallelism() int {
+	n := p.ts.cfg.ProcessorParallelism
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // SubmitUserSample enqueues a sample produced by a user-level probe,
 // dropping it if the bounded queue is full.
 func (p *Processor) SubmitUserSample(buf []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.userSubmitted++
+	p.userStats.Submitted++
 	if len(p.userQueue) >= userQueueCapacity {
-		p.userDropped++
+		p.userStats.Dropped++
 		return
 	}
 	p.userQueue = append(p.userQueue, buf)
+}
+
+// UserSubmitted reports samples offered to the user-probe queue.
+func (p *Processor) UserSubmitted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.userStats.Submitted
 }
 
 // UserDropped reports samples lost to user-queue overflow.
 func (p *Processor) UserDropped() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.userDropped
+	return p.userStats.Dropped
 }
 
-// Task returns the Processor's own kernel task (created on first use), on
-// which its processing time is charged. The Processor is single-threaded,
-// as in the paper's evaluation setup.
+// Task returns the first of the Processor's drain-thread tasks (created on
+// first use), on which its processing time is charged. With the default
+// parallelism of 1 this is the paper's single-threaded Processor.
 func (p *Processor) Task() *kernel.Task {
+	return p.taskGroup().Task(0)
+}
+
+func (p *Processor) taskGroup() *kernel.TaskGroup {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.task == nil {
-		p.task = p.ts.kernel.NewTask("tscout-processor")
+	if p.group == nil {
+		p.group = p.ts.kernel.NewTaskGroup("tscout-processor", p.Parallelism())
 	}
-	return p.task
+	return p.group
 }
 
 // Poll drains all pending samples without a budget: the offline path,
 // where the Processor has idle time between sweeps.
 func (p *Processor) Poll() int { return p.PollBudget(0) }
 
-// PollBudget drains up to budget samples (0 = unlimited), transforms
-// them, and archives them, returning the number of training points
-// produced. The workload driver calls it on the Processor's schedule with
-// the budget one drain period affords; sustained oversubmission therefore
+// PollBudget runs one drain period with the sample budget one period
+// affords a single drain thread (0 = unlimited); the global token budget
+// is budget × parallelism, shared across all subsystem shards. It drains
+// each shard's share, transforms the batches, archives the points, and
+// returns the number of training points produced. Sustained oversubmission
 // overwrites ring entries (kernel path) or overflows the user queue, and
-// the Processor's efficiency degrades under overload — the §6.2 dynamics
+// the pipeline's efficiency degrades under overload — the §6.2 dynamics
 // behind Fig. 6's peak-then-decline curve.
 func (p *Processor) PollBudget(budget int) int {
-	task := p.Task()
-	task.ChargeUserNS(pollBaseNS)
+	p.pollMu.Lock()
+	group := p.taskGroup()
+	parallelism := group.Size()
+	// The drain threads wake together at the period tick.
+	group.Barrier()
+	for i := 0; i < parallelism; i++ {
+		group.Task(i).ChargeUserNS(pollBaseNS)
+	}
 
-	kernelBudget, userBudget := 0, 0
+	// Consistent per-ring snapshots: submitted/dropped/pending under one
+	// lock each, so period deltas cannot tear against concurrent submits.
+	var ringNow [NumSubsystems]bpf.RingStats
+	cols := [NumSubsystems]*Collector{}
+	for _, sub := range AllSubsystems {
+		if col := p.ts.CollectorFor(sub); col != nil {
+			cols[sub] = col
+			ringNow[sub] = col.Ring.Stats()
+		}
+	}
+
+	// Per-period deltas, demand, and the degraded effective budget.
+	var deltaSub, deltaDrop [NumSubsystems]int64
+	p.mu.Lock()
+	var demand int64
+	for _, sub := range AllSubsystems {
+		ds := ringNow[sub].Submitted - p.lastRing[sub].Submitted
+		dd := ringNow[sub].Dropped - p.lastRing[sub].Dropped
+		if ds < 0 || dd < 0 {
+			// The ring was reset or regenerated (redeploy): its
+			// cumulative counters restarted from zero.
+			ds, dd = ringNow[sub].Submitted, ringNow[sub].Dropped
+		}
+		deltaSub[sub], deltaDrop[sub] = ds, dd
+		p.lastRing[sub] = ringNow[sub]
+		demand += ds
+	}
+	deltaUser := p.userStats.Submitted - p.lastUserSubmitted
+	p.lastUserSubmitted = p.userStats.Submitted
+	p.userStats.DeltaSubmitted = deltaUser
+	p.userStats.DeltaDropped = p.userStats.Dropped - p.lastUserDropped
+	p.lastUserDropped = p.userStats.Dropped
+	demand += deltaUser * userDrainPenalty
+	userPending := len(p.userQueue)
+
+	globalBudget, effective := 0, 0
 	if budget > 0 {
 		// Demand-aware efficiency: arrival rate since the last poll
-		// beyond the thread's capacity degrades it (queue thrash).
-		var submitted int64
-		for _, sub := range AllSubsystems {
-			if col := p.ts.CollectorFor(sub); col != nil {
-				submitted += col.Ring.Submitted()
-			}
+		// beyond the pipeline's capacity degrades it (queue thrash).
+		globalBudget = budget * parallelism
+		eff := float64(globalBudget)
+		if demand > int64(globalBudget) {
+			eff = float64(globalBudget) / (1 + 0.35*(float64(demand)/float64(globalBudget)-1))
 		}
-		p.mu.Lock()
-		submitted += p.userSubmitted * userDrainPenalty
-		demand := submitted - p.lastSubmitted
-		p.lastSubmitted = submitted
-		p.mu.Unlock()
-		eff := float64(budget)
-		if demand > int64(budget) {
-			eff = float64(budget) / (1 + 0.35*(float64(demand)/float64(budget)-1))
-		}
-		kernelBudget = int(eff)
-		if kernelBudget < 1 {
-			kernelBudget = 1
-		}
-		userBudget = kernelBudget / userDrainPenalty
-		if userBudget < 1 {
-			userBudget = 1
+		effective = int(eff)
+		if effective < 1 {
+			effective = 1
 		}
 	}
-
-	var raw [][]byte
-	for _, sub := range AllSubsystems {
-		col := p.ts.CollectorFor(sub)
-		if col == nil {
-			continue
-		}
-		raw = append(raw, col.Ring.Drain(kernelBudget)...)
-	}
-	p.mu.Lock()
-	if userBudget > 0 && userBudget < len(p.userQueue) {
-		raw = append(raw, p.userQueue[:userBudget]...)
-		p.userQueue = append([][]byte(nil), p.userQueue[userBudget:]...)
-	} else {
-		raw = append(raw, p.userQueue...)
-		p.userQueue = nil
-	}
+	p.polls++
+	p.lastGlobalBudget, p.lastEffectiveBudget = globalBudget, effective
 	p.mu.Unlock()
 
-	n := 0
-	for _, buf := range raw {
-		task.ChargeUserNS(processSampleNS)
-		pts, err := p.transform(buf)
-		if err != nil {
-			p.mu.Lock()
-			p.decodeErrors++
-			p.mu.Unlock()
-			continue
+	// Token demand per shard: one token per pending kernel sample,
+	// userDrainPenalty tokens per pending user sample. Shards are
+	// distributed round-robin over the drain threads; each thread
+	// waterfills its own slice of the effective budget so no shard can
+	// exceed one thread's period capacity.
+	demands := make([]int, NumSubsystems+1)
+	for _, sub := range AllSubsystems {
+		demands[sub] = ringNow[sub].Pending
+	}
+	demands[userShard] = userPending * userDrainPenalty
+
+	alloc := make([]int, NumSubsystems+1)
+	if budget > 0 {
+		perThread := make([]int, parallelism)
+		for i := range perThread {
+			perThread[i] = effective / parallelism
 		}
-		p.mu.Lock()
-		for _, tp := range pts {
-			p.archive = append(p.archive, tp)
-			p.processed++
-			if p.sink != nil {
-				if err := p.sink.Write(tp); err != nil {
-					p.sinkErrors++
+		for i := 0; i < effective%parallelism; i++ {
+			perThread[i]++
+		}
+		for t := 0; t < parallelism; t++ {
+			var idx []int
+			var dem []int
+			for s := 0; s <= userShard; s++ {
+				if s%parallelism == t {
+					idx = append(idx, s)
+					dem = append(dem, demands[s])
 				}
 			}
+			for j, a := range waterfill(dem, perThread[t]) {
+				alloc[idx[j]] = a
+			}
+		}
+	} else {
+		copy(alloc, demands) // unlimited: drain everything
+	}
+
+	// Drain and process each shard as one batch on its drain thread.
+	produced := 0
+	for _, sub := range AllSubsystems {
+		if cols[sub] == nil || alloc[sub] == 0 {
+			continue
+		}
+		task := group.Task(int(sub) % parallelism)
+		bufs, n := cols[sub].Ring.DrainAppend(nil, alloc[sub])
+		if n == 0 {
+			continue
+		}
+		task.ChargeUserNS(int64(n) * processSampleNS)
+		produced += p.processBatch(bufs, p.shards[sub], sub, deltaSub[sub], deltaDrop[sub], int64(n))
+	}
+
+	// User-probe shard: tokens buy 1/userDrainPenalty samples each.
+	userSamples := alloc[userShard] / userDrainPenalty
+	if alloc[userShard] > 0 && userSamples == 0 && userPending > 0 {
+		userSamples = 1 // partial-token rounding; never starve the queue
+	}
+	if userSamples > 0 {
+		var bufs [][]byte
+		p.mu.Lock()
+		if userSamples < len(p.userQueue) {
+			bufs = append(bufs, p.userQueue[:userSamples]...)
+			p.userQueue = append([][]byte(nil), p.userQueue[userSamples:]...)
+		} else {
+			bufs = p.userQueue
+			p.userQueue = nil
 		}
 		p.mu.Unlock()
-		n += len(pts)
+		if len(bufs) > 0 {
+			task := group.Task(userShard % parallelism)
+			task.ChargeUserNS(int64(len(bufs)) * processSampleNS * userDrainPenalty)
+			produced += p.processUserBatch(bufs)
+		}
 	}
 
 	if !p.ts.cfg.DisableProcessorFeedback {
-		p.applyFeedback()
+		p.applyFeedback(deltaSub, deltaDrop)
 	}
-	return n
+	p.pollMu.Unlock()
+
+	// Sink delivery happens strictly outside every Processor lock.
+	p.flushSink()
+	return produced
+}
+
+// waterfill distributes tokens across shards in proportion to demand,
+// redistributing capacity unclaimed by underloaded shards, so the sum of
+// allocations never exceeds tokens and a single hot shard cannot starve
+// the others.
+func waterfill(demands []int, tokens int) []int {
+	alloc := make([]int, len(demands))
+	if tokens <= 0 {
+		return alloc
+	}
+	remaining := tokens
+	for remaining > 0 {
+		var open []int
+		need := 0
+		for i, d := range demands {
+			if alloc[i] < d {
+				open = append(open, i)
+				need += d - alloc[i]
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		if need <= remaining {
+			for _, i := range open {
+				remaining -= demands[i] - alloc[i]
+				alloc[i] = demands[i]
+			}
+			break
+		}
+		share := remaining / len(open)
+		if share == 0 {
+			for _, i := range open {
+				if remaining == 0 {
+					break
+				}
+				alloc[i]++
+				remaining--
+			}
+			break
+		}
+		for _, i := range open {
+			give := share
+			if d := demands[i] - alloc[i]; give > d {
+				give = d
+			}
+			alloc[i] += give
+			remaining -= give
+		}
+	}
+	return alloc
+}
+
+// processBatch decodes and transforms one kernel shard's drained batch,
+// updating that shard's per-period counters.
+func (p *Processor) processBatch(bufs [][]byte, src *drainShard, sub SubsystemID, deltaSub, deltaDrop, drained int64) int {
+	produced := 0
+	var decodeErrs int64
+	var adj featureAdjust
+	var pts []TrainingPoint
+	for _, buf := range bufs {
+		out, err := p.transform(buf, &adj)
+		if err != nil {
+			decodeErrs++
+			continue
+		}
+		pts = append(pts, out...)
+	}
+	produced = len(pts)
+	p.archivePoints(pts)
+
+	src.mu.Lock()
+	src.stats.Submitted += deltaSub
+	src.stats.Dropped += deltaDrop
+	src.stats.Drained += drained
+	src.stats.DecodeErrors += decodeErrs
+	src.stats.PaddedFeatures += adj.padded
+	src.stats.TruncatedFeatures += adj.truncated
+	src.stats.Points += int64(produced)
+	src.stats.DeltaSubmitted = deltaSub
+	src.stats.DeltaDropped = deltaDrop
+	src.stats.DeltaDrained = drained
+	src.mu.Unlock()
+	return produced
+}
+
+// processUserBatch transforms drained user-probe samples; points land in
+// the shard of the OU's subsystem, while drain/decode accounting stays on
+// the user-queue stats.
+func (p *Processor) processUserBatch(bufs [][]byte) int {
+	var decodeErrs int64
+	var adj featureAdjust
+	var pts []TrainingPoint
+	for _, buf := range bufs {
+		out, err := p.transform(buf, &adj)
+		if err != nil {
+			decodeErrs++
+			continue
+		}
+		pts = append(pts, out...)
+	}
+	p.archivePoints(pts)
+
+	// Archived points count toward the subsystem shard they decode into.
+	perSub := [NumSubsystems]int64{}
+	for _, tp := range pts {
+		perSub[tp.Subsystem]++
+	}
+	for sub, n := range perSub {
+		if n == 0 {
+			continue
+		}
+		sh := p.shards[sub]
+		sh.mu.Lock()
+		sh.stats.Points += n
+		sh.mu.Unlock()
+	}
+
+	p.mu.Lock()
+	p.userStats.Drained += int64(len(bufs))
+	p.userStats.DeltaDrained = int64(len(bufs))
+	p.userStats.DecodeErrors += decodeErrs
+	p.userStats.PaddedFeatures += adj.padded
+	p.userStats.TruncatedFeatures += adj.truncated
+	p.mu.Unlock()
+	return len(pts)
+}
+
+// archivePoints appends finished points to their subsystems' archive
+// shards and enqueues them on the bounded flush queue for sink delivery.
+// No Sink.Write happens here: delivery is deferred to flushSink, outside
+// every Processor lock.
+func (p *Processor) archivePoints(pts []TrainingPoint) {
+	if len(pts) == 0 {
+		return
+	}
+	for _, tp := range pts {
+		sh := p.shards[tp.Subsystem]
+		sh.mu.Lock()
+		sh.archive = append(sh.archive, archEntry{seq: p.seq.Add(1), tp: tp})
+		sh.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.processed += int64(len(pts))
+	if p.sink != nil {
+		for _, tp := range pts {
+			if len(p.pendingFlush) >= flushQueueCapacity {
+				p.flushDrops++
+				continue
+			}
+			p.pendingFlush = append(p.pendingFlush, tp)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// flushSink drains the bounded flush queue to the sink. It holds no
+// Processor lock across Write, so a slow sink only delays delivery (and
+// eventually drops from the bounded queue) and a re-entrant sink — one
+// that submits samples or reads stats — cannot deadlock intake.
+func (p *Processor) flushSink() {
+	if p.sink == nil {
+		return
+	}
+	for {
+		p.mu.Lock()
+		batch := p.pendingFlush
+		p.pendingFlush = nil
+		p.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		for _, tp := range batch {
+			if err := p.sink.Write(tp); err != nil {
+				sh := p.shards[tp.Subsystem]
+				sh.mu.Lock()
+				sh.stats.SinkErrors++
+				sh.mu.Unlock()
+			}
+		}
+	}
+}
+
+// featureAdjust counts feature-vector repairs made while transforming one
+// batch (short vectors zero-padded, long vectors truncated).
+type featureAdjust struct {
+	padded    int64
+	truncated int64
 }
 
 // transform decodes a wire sample into training points, expanding fused
 // samples into per-OU points with apportioned metrics.
-func (p *Processor) transform(buf []byte) ([]TrainingPoint, error) {
+func (p *Processor) transform(buf []byte, adj *featureAdjust) ([]TrainingPoint, error) {
 	s, err := DecodeSample(buf)
 	if err != nil {
 		return nil, err
@@ -230,7 +562,7 @@ func (p *Processor) transform(buf []byte) ([]TrainingPoint, error) {
 		if !ok {
 			return nil, fmt.Errorf("tscout: sample for unregistered OU %d", s.OU)
 		}
-		return []TrainingPoint{pointFor(def, s.PID, s.Features, s.Metrics)}, nil
+		return []TrainingPoint{pointFor(def, s.PID, s.Features, s.Metrics, adj)}, nil
 	}
 
 	parts, err := DecodeFusedFeatures(s.Features)
@@ -260,15 +592,27 @@ func (p *Processor) transform(buf []byte) ([]TrainingPoint, error) {
 		if !ok {
 			return nil, fmt.Errorf("tscout: fused sample for unregistered OU %d", part.OU)
 		}
-		out = append(out, pointFor(def, s.PID, part.Features, scaleMetrics(s.Metrics, weights[i]/total)))
+		out = append(out, pointFor(def, s.PID, part.Features, scaleMetrics(s.Metrics, weights[i]/total), adj))
 	}
 	return out, nil
 }
 
-func pointFor(def *OUDef, pid int, feats []uint64, m Metrics) TrainingPoint {
+// pointFor builds one training point, normalizing the feature vector to
+// the OU's declared width: long vectors are truncated, short vectors are
+// zero-padded, and both repairs are counted. Features and FeatureNames
+// therefore always have equal length — silently emitting short vectors
+// would skew model training with misaligned features.
+func pointFor(def *OUDef, pid int, feats []uint64, m Metrics, adj *featureAdjust) TrainingPoint {
 	f := floats(feats)
-	if len(f) > len(def.Features) {
+	switch {
+	case len(f) > len(def.Features):
 		f = f[:len(def.Features)]
+		adj.truncated++
+	case len(f) < len(def.Features):
+		padded := make([]float64, len(def.Features))
+		copy(padded, f)
+		f = padded
+		adj.padded++
 	}
 	return TrainingPoint{
 		OU:           def.ID,
@@ -306,47 +650,83 @@ func scaleMetrics(m Metrics, f float64) Metrics {
 }
 
 // applyFeedback lowers sampling rates for subsystems whose ring buffers
-// are overwriting faster than the Processor drains (paper §3.2).
-func (p *Processor) applyFeedback() {
+// are overwriting faster than the Processor drains (paper §3.2). The
+// trigger compares this period's drops against this period's submissions —
+// delta against delta — so a drop burst fires the feedback no matter how
+// long the run has been going.
+func (p *Processor) applyFeedback(deltaSub, deltaDrop [NumSubsystems]int64) {
 	for _, sub := range AllSubsystems {
-		col := p.ts.CollectorFor(sub)
-		if col == nil {
+		if deltaSub[sub] == 0 || deltaDrop[sub] == 0 {
 			continue
 		}
-		dropped := col.Ring.Dropped()
-		submitted := col.Ring.Submitted()
-		p.mu.Lock()
-		deltaDrop := dropped - p.lastDropped[sub]
-		p.lastDropped[sub] = dropped
-		p.mu.Unlock()
-		if submitted == 0 || deltaDrop == 0 {
-			continue
-		}
-		if float64(deltaDrop) > feedbackDropThreshold*float64(submitted) {
+		if float64(deltaDrop[sub]) > feedbackDropThreshold*float64(deltaSub[sub]) {
 			rate := p.ts.sampler.Rate(sub)
 			if rate > 1 {
 				p.ts.sampler.SetRate(sub, rate*8/10)
+				p.mu.Lock()
+				p.feedbackActions++
+				p.mu.Unlock()
 			}
 		}
 	}
 }
 
-// Points returns a snapshot of the archived training points.
-func (p *Processor) Points() []TrainingPoint {
+// Stats returns a self-observability snapshot of the drain pipeline:
+// per-shard counters (with per-period deltas), the last period's budget
+// before and after overload degradation, feedback actions taken, and
+// flush-queue health. Ring submitted/dropped totals are read live so the
+// snapshot reflects samples submitted since the last poll too.
+func (p *Processor) Stats() ProcessorStats {
+	var st ProcessorStats
+	for _, sub := range AllSubsystems {
+		st.Kernel[sub] = p.shards[sub].snapshotStats()
+		if col := p.ts.CollectorFor(sub); col != nil {
+			rs := col.Ring.Stats()
+			st.Kernel[sub].Submitted = rs.Submitted
+			st.Kernel[sub].Dropped = rs.Dropped
+		}
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]TrainingPoint(nil), p.archive...)
+	st.User = p.userStats
+	st.Polls = p.polls
+	st.GlobalBudget = p.lastGlobalBudget
+	st.EffectiveBudget = p.lastEffectiveBudget
+	st.FeedbackActions = p.feedbackActions
+	st.FlushQueueDrops = p.flushDrops
+	st.PendingFlush = len(p.pendingFlush)
+	st.Processed = p.processed
+	p.mu.Unlock()
+	st.Parallelism = p.Parallelism()
+	return st
 }
 
-// PointsFor returns the archived points for one subsystem.
+// Points returns a snapshot of the archived training points across all
+// shards, merged back into processing order.
+func (p *Processor) Points() []TrainingPoint {
+	var entries []archEntry
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		entries = append(entries, sh.archive...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]TrainingPoint, len(entries))
+	for i, e := range entries {
+		out[i] = e.tp
+	}
+	return out
+}
+
+// PointsFor returns the archived points for one subsystem. Archives are
+// sharded per subsystem, so this reads a single shard without scanning or
+// merging.
 func (p *Processor) PointsFor(sub SubsystemID) []TrainingPoint {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var out []TrainingPoint
-	for _, tp := range p.archive {
-		if tp.Subsystem == sub {
-			out = append(out, tp)
-		}
+	sh := p.shards[sub]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]TrainingPoint, len(sh.archive))
+	for i, e := range sh.archive {
+		out[i] = e.tp
 	}
 	return out
 }
@@ -360,19 +740,59 @@ func (p *Processor) Processed() int64 {
 
 // DecodeErrors returns the number of undecodable samples seen.
 func (p *Processor) DecodeErrors() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.stats.DecodeErrors
+		sh.mu.Unlock()
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.decodeErrors
+	n += p.userStats.DecodeErrors
+	p.mu.Unlock()
+	return n
 }
 
-// Reset clears the archive and statistics (between experiment trials).
+// SinkErrors returns the number of training points the sink rejected.
+func (p *Processor) SinkErrors() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.stats.SinkErrors
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Reset clears the archive, all pipeline statistics, and the demand
+// baselines (between experiment trials). The Collector ring buffers are
+// reset too: a trial must not start with the previous trial's pending
+// samples, and — just as important — the first post-reset poll must not
+// compute its demand or feedback deltas from a previous trial's cumulative
+// counters. Points already handed to the flush queue are discarded.
 func (p *Processor) Reset() {
+	p.pollMu.Lock()
+	defer p.pollMu.Unlock()
+	for _, sub := range AllSubsystems {
+		if col := p.ts.CollectorFor(sub); col != nil {
+			col.Ring.Reset()
+		}
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.archive = nil
+		sh.stats = SubsystemStats{}
+		sh.mu.Unlock()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.archive = nil
-	p.processed = 0
-	p.decodeErrors = 0
-	p.sinkErrors = 0
 	p.userQueue = nil
-	p.lastDropped = make(map[SubsystemID]int64)
+	p.userStats = SubsystemStats{}
+	p.lastRing = [NumSubsystems]bpf.RingStats{}
+	p.lastUserSubmitted, p.lastUserDropped = 0, 0
+	p.pendingFlush = nil
+	p.flushDrops = 0
+	p.processed = 0
+	p.polls = 0
+	p.lastGlobalBudget, p.lastEffectiveBudget = 0, 0
+	p.feedbackActions = 0
 }

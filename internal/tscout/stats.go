@@ -1,0 +1,107 @@
+package tscout
+
+// SubsystemStats is one subsystem's slice of the Processor's self-observed
+// pipeline counters. Cumulative fields count since deployment (or the last
+// Reset); Delta fields cover the most recent drain period, which is what
+// the §3.2 feedback mechanism and the experiment harnesses consume — a
+// collector that cannot observe its own drop rate per period cannot react
+// to overload in time.
+type SubsystemStats struct {
+	// Submitted counts samples offered to this shard's channel (ring
+	// buffer submissions for kernel shards, queue submissions for the
+	// user shard).
+	Submitted int64
+	// Drained counts samples the Processor pulled out of the channel.
+	Drained int64
+	// Dropped counts samples lost to ring overwrite / queue overflow.
+	Dropped int64
+	// DecodeErrors counts drained samples that failed to decode.
+	DecodeErrors int64
+	// SinkErrors counts training points the sink rejected.
+	SinkErrors int64
+	// PaddedFeatures counts samples that arrived with fewer feature words
+	// than the OU declares (vectors are zero-padded to the declared
+	// width so Features/FeatureNames never diverge).
+	PaddedFeatures int64
+	// TruncatedFeatures counts samples that arrived with more feature
+	// words than the OU declares.
+	TruncatedFeatures int64
+	// Points counts training points archived for this subsystem (fused
+	// samples expand to several points).
+	Points int64
+
+	// DeltaSubmitted/DeltaDrained/DeltaDropped are the same counters
+	// restricted to the most recent drain period.
+	DeltaSubmitted int64
+	DeltaDrained   int64
+	DeltaDropped   int64
+}
+
+// ProcessorStats is a snapshot of the drain pipeline's own health: the
+// trace collector observing itself, so operators (and the experiment
+// harnesses) can tell a quiet system from a saturated one without
+// instrumenting the instrumentation by hand.
+type ProcessorStats struct {
+	// Polls counts drain cycles since deployment or Reset.
+	Polls int64
+	// Parallelism is the number of modeled drain threads.
+	Parallelism int
+	// GlobalBudget is the token budget the last budgeted poll granted
+	// across all shards (budget × parallelism; 0 = unlimited poll).
+	GlobalBudget int
+	// EffectiveBudget is the budget after overload degradation — fewer
+	// than GlobalBudget when the arrival rate exceeded thread capacity
+	// (the queue-thrash dynamics behind Fig. 6's decline).
+	EffectiveBudget int
+	// FeedbackActions counts §3.2 sampling-rate reductions taken.
+	FeedbackActions int64
+	// FlushQueueDrops counts training points that could not be handed to
+	// the sink because the bounded flush queue was full (the archive
+	// still keeps them).
+	FlushQueueDrops int64
+	// PendingFlush is the current flush-queue depth.
+	PendingFlush int
+	// Processed is the cumulative number of training points produced.
+	Processed int64
+
+	// Kernel holds per-subsystem shard counters; User covers the
+	// user-probe queue shard.
+	Kernel [NumSubsystems]SubsystemStats
+	User   SubsystemStats
+}
+
+// TotalSubmitted sums submissions across every shard.
+func (s *ProcessorStats) TotalSubmitted() int64 {
+	n := s.User.Submitted
+	for i := range s.Kernel {
+		n += s.Kernel[i].Submitted
+	}
+	return n
+}
+
+// TotalDrained sums drained samples across every shard.
+func (s *ProcessorStats) TotalDrained() int64 {
+	n := s.User.Drained
+	for i := range s.Kernel {
+		n += s.Kernel[i].Drained
+	}
+	return n
+}
+
+// TotalDropped sums losses across every shard.
+func (s *ProcessorStats) TotalDropped() int64 {
+	n := s.User.Dropped
+	for i := range s.Kernel {
+		n += s.Kernel[i].Dropped
+	}
+	return n
+}
+
+// DropFraction is dropped/submitted over the whole run (0 when idle).
+func (s *ProcessorStats) DropFraction() float64 {
+	sub := s.TotalSubmitted()
+	if sub == 0 {
+		return 0
+	}
+	return float64(s.TotalDropped()) / float64(sub)
+}

@@ -132,12 +132,20 @@ type Config struct {
 	// DisableProcessorFeedback turns off the automatic sampling-rate
 	// reduction when the Processor falls behind (paper §3.2).
 	DisableProcessorFeedback bool
+	// ProcessorParallelism is the number of modeled Processor drain
+	// threads (default 1, the paper's single-threaded Processor). The
+	// global per-period sample budget scales with it; subsystem shards
+	// are distributed round-robin over the threads.
+	ProcessorParallelism int
 }
 
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.RingCapacity <= 0 {
 		out.RingCapacity = 4096
+	}
+	if out.ProcessorParallelism < 1 {
+		out.ProcessorParallelism = 1
 	}
 	return out
 }

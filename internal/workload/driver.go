@@ -44,6 +44,12 @@ type Config struct {
 	// ExternalCollect makes every terminal use EXPLAIN-based external
 	// feature collection (§2.2) instead of relying on TScout markers.
 	ExternalCollect bool
+	// FinalDrain makes the end-of-run Processor sweep unbudgeted, so
+	// every sample still buffered is delivered. Overhead experiments
+	// leave this off (a real deployment snapshot loses in-flight
+	// samples); accuracy experiments turn it on because they consume the
+	// training data itself.
+	FinalDrain bool
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +85,9 @@ type Result struct {
 	TrainingPoints int64
 	// SamplesPerSec is the training-data generation rate.
 	SamplesPerSec float64
+	// Processor is the drain pipeline's self-observed telemetry at the
+	// end of the run (zero value for uninstrumented runs).
+	Processor tscout.ProcessorStats
 }
 
 type terminal struct {
@@ -166,8 +175,12 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		// Flush any overdue group-commit batch before running further.
 		srv.WAL.Tick(now)
 
-		// The Processor drains on its own schedule, with the sample
-		// budget one drain period affords its single thread.
+		// The Processor drains on its own schedule: whenever at least one
+		// nominal period has elapsed, each drain thread gets exactly one
+		// period's sample budget. A thread woken after a longer sleep
+		// does not accumulate catch-up credit — it works one period, then
+		// sleeps again — so collection capacity is paced by the poll
+		// schedule, as in a real periodic drain loop.
 		if srv.TS != nil && cfg.ProcessorPollNS > 0 && now-lastPoll >= cfg.ProcessorPollNS {
 			srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(cfg.ProcessorPollNS))
 			lastPoll = now
@@ -212,11 +225,17 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		if period < cfg.ProcessorPollNS {
 			period = cfg.ProcessorPollNS
 		}
-		srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(period))
+		if cfg.FinalDrain {
+			srv.TS.Processor().Poll()
+		} else {
+			srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(period))
+		}
 		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+		res.Processor = srv.TS.Processor().Stats()
 	} else if srv.TS != nil {
 		srv.TS.Processor().Poll()
 		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+		res.Processor = srv.TS.Processor().Stats()
 	}
 
 	// Makespan: terminals run in parallel up to the core budget.
