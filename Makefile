@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench figures
+.PHONY: check build vet test race bench figures fuzz-smoke cover
 
 check: build vet race
 
@@ -20,6 +20,24 @@ test:
 # go test's default 10m deadline, so give the run an explicit budget.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# Short fuzzing pass over every fuzz target (go test allows one -fuzz
+# pattern per package invocation, so targets run one at a time). Raise
+# FUZZTIME for real sessions; crashers land in testdata/fuzz/ for replay.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzVerifyThenRun$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzRingbuf$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
+
+# Coverage with a per-package summary (baseline recorded in README.md).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@echo "---- per package ----"
+	@$(GO) test -cover ./... 2>/dev/null | awk '/coverage:/ {print $$2, $$5}'
 
 # Substrate micro-benchmarks (single-shot; drop -benchtime for real runs).
 bench:

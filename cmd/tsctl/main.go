@@ -113,25 +113,9 @@ func stats(srv *dbms.Server) error {
 	if err != nil {
 		return err
 	}
-	st := res.Processor
 	fmt.Printf("burst: %d txns, %.0f txns/s, %d training points\n\n",
 		res.Completed, res.ThroughputTPS, res.TrainingPoints)
-	fmt.Printf("%-18s %10s %10s %10s %8s %8s %8s %8s\n",
-		"shard", "submitted", "drained", "dropped", "decerr", "padded", "trunc", "points")
-	printShard := func(name string, s tscout.SubsystemStats) {
-		fmt.Printf("%-18s %10d %10d %10d %8d %8d %8d %8d\n",
-			name, s.Submitted, s.Drained, s.Dropped,
-			s.DecodeErrors, s.PaddedFeatures, s.TruncatedFeatures, s.Points)
-	}
-	for _, sub := range tscout.AllSubsystems {
-		printShard(sub.String(), st.Kernel[sub])
-	}
-	printShard("user-queue", st.User)
-	fmt.Printf("\npolls=%d parallelism=%d global-budget=%d effective-budget=%d\n",
-		st.Polls, st.Parallelism, st.GlobalBudget, st.EffectiveBudget)
-	fmt.Printf("feedback-actions=%d flush-queue-drops=%d pending-flush=%d processed=%d\n",
-		st.FeedbackActions, st.FlushQueueDrops, st.PendingFlush, st.Processed)
-	fmt.Printf("drop-fraction=%.3f\n", st.DropFraction())
+	fmt.Print(formatProcessorStats(res.Processor))
 	return nil
 }
 

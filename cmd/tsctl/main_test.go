@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tscout/internal/tscout"
+)
+
+func TestFormatProcessorStatsLayout(t *testing.T) {
+	var st tscout.ProcessorStats
+	st.Polls = 7
+	st.Parallelism = 2
+	st.GlobalBudget = 256
+	st.EffectiveBudget = 200
+	st.FeedbackActions = 3
+	st.FlushQueueDrops = 1
+	st.PendingFlush = 4
+	st.Processed = 1234
+	st.Kernel[tscout.SubsystemExecutionEngine] = tscout.SubsystemStats{
+		Submitted: 1500, Drained: 1400, Dropped: 100,
+		DecodeErrors: 2, PaddedFeatures: 5, TruncatedFeatures: 6, Points: 1398,
+	}
+	st.User = tscout.SubsystemStats{Submitted: 50, Drained: 50, Points: 50}
+
+	out := formatProcessorStats(st)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	// Header, one row per kernel subsystem, the user queue row, a blank
+	// separator, and three footer lines.
+	wantLines := 1 + len(tscout.AllSubsystems) + 1 + 1 + 3
+	if len(lines) != wantLines {
+		t.Fatalf("%d output lines, want %d:\n%s", len(lines), wantLines, out)
+	}
+	if !strings.HasPrefix(lines[0], "shard") || !strings.Contains(lines[0], "submitted") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+
+	// Every shard row starts with its name; the exec-engine row carries
+	// the counters we set, in column order.
+	execRow := ""
+	for i, sub := range tscout.AllSubsystems {
+		row := lines[1+i]
+		if !strings.HasPrefix(row, sub.String()) {
+			t.Fatalf("row %d = %q, want prefix %q", i, row, sub.String())
+		}
+		if sub == tscout.SubsystemExecutionEngine {
+			execRow = row
+		}
+	}
+	if fields := strings.Fields(execRow); len(fields) != 8 ||
+		fields[1] != "1500" || fields[2] != "1400" || fields[3] != "100" ||
+		fields[4] != "2" || fields[5] != "5" || fields[6] != "6" || fields[7] != "1398" {
+		t.Fatalf("exec-engine row fields: %v", strings.Fields(execRow))
+	}
+	userRow := lines[1+len(tscout.AllSubsystems)]
+	if !strings.HasPrefix(userRow, "user-queue") || !strings.Contains(userRow, "50") {
+		t.Fatalf("user-queue row: %q", userRow)
+	}
+
+	// All shard rows align: equal widths up to the first counter column.
+	if idx := strings.Index(lines[0], "submitted"); idx < 0 ||
+		len(execRow) != len(userRow) {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+
+	footer := strings.Join(lines[len(lines)-3:], "\n")
+	for _, want := range []string{
+		"polls=7", "parallelism=2", "global-budget=256", "effective-budget=200",
+		"feedback-actions=3", "flush-queue-drops=1", "pending-flush=4", "processed=1234",
+		"drop-fraction=0.0",
+	} {
+		if !strings.Contains(footer, want) {
+			t.Fatalf("footer missing %q:\n%s", want, footer)
+		}
+	}
+}
+
+func TestFormatProcessorStatsDropFraction(t *testing.T) {
+	var st tscout.ProcessorStats
+	st.Kernel[tscout.SubsystemExecutionEngine] = tscout.SubsystemStats{Submitted: 100, Dropped: 25}
+	out := formatProcessorStats(st)
+	if !strings.Contains(out, "drop-fraction=0.250") {
+		t.Fatalf("drop fraction not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"tscout/internal/tscout"
+)
+
+// formatProcessorStats renders the Processor's self-observability snapshot
+// as the `tsctl stats` telemetry block: one row per drain shard (kernel
+// subsystems then the user queue), followed by the budget and
+// flush-queue footer. Split from main so the layout is unit-testable.
+func formatProcessorStats(st tscout.ProcessorStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %8s %8s %8s %8s\n",
+		"shard", "submitted", "drained", "dropped", "decerr", "padded", "trunc", "points")
+	shardRow := func(name string, s tscout.SubsystemStats) {
+		fmt.Fprintf(&b, "%-18s %10d %10d %10d %8d %8d %8d %8d\n",
+			name, s.Submitted, s.Drained, s.Dropped,
+			s.DecodeErrors, s.PaddedFeatures, s.TruncatedFeatures, s.Points)
+	}
+	for _, sub := range tscout.AllSubsystems {
+		shardRow(sub.String(), st.Kernel[sub])
+	}
+	shardRow("user-queue", st.User)
+	fmt.Fprintf(&b, "\npolls=%d parallelism=%d global-budget=%d effective-budget=%d\n",
+		st.Polls, st.Parallelism, st.GlobalBudget, st.EffectiveBudget)
+	fmt.Fprintf(&b, "feedback-actions=%d flush-queue-drops=%d pending-flush=%d processed=%d\n",
+		st.FeedbackActions, st.FlushQueueDrops, st.PendingFlush, st.Processed)
+	fmt.Fprintf(&b, "drop-fraction=%.3f\n", st.DropFraction())
+	return b.String()
+}

@@ -468,6 +468,20 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 					return nil, verr(pc, "%s arg %d must be a map handle, got %s", spec.Name, i+1, a.kind)
 				}
 				constMap = a.mapIdx
+				// Helper/map-type compatibility, checked statically like
+				// real eBPF: the runtime type assertions in vm.go must be
+				// unreachable for verified programs. (Found by FuzzVerify:
+				// stack_pop on a hash map verified, then faulted.)
+				switch insn.Imm {
+				case HelperStackPush, HelperStackPop:
+					if _, ok := p.Maps[constMap].(*StackMap); !ok {
+						return nil, verr(pc, "%s arg %d must be a stack map, got %q", spec.Name, i+1, p.Maps[constMap].Name())
+					}
+				case HelperPerfOutput:
+					if _, ok := p.Maps[constMap].(*PerfRingBuffer); !ok {
+						return nil, verr(pc, "%s arg %d must be a perf ring buffer, got %q", spec.Name, i+1, p.Maps[constMap].Name())
+					}
+				}
 			case ArgPtrKey, ArgPtrValue:
 				if constMap < 0 {
 					return nil, verr(pc, "%s arg %d: no preceding map handle", spec.Name, i+1)

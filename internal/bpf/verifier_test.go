@@ -416,3 +416,44 @@ func TestDisassembleSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestVerifyRejectsHelperOnWrongMapKind(t *testing.T) {
+	// Regression for a divergence found by FuzzVerify: stack_push/stack_pop
+	// and perf_event_output verified against any map type, then faulted in
+	// the VM's type assertion at runtime. The verifier must reject the
+	// mismatch statically, like real eBPF's map/helper compatibility check.
+	cases := []struct {
+		name   string
+		helper int64
+		mapIdx int
+		ok     bool
+	}{
+		{"pop on hash map", HelperStackPop, genMapHash, false},
+		{"push on per-task map", HelperStackPush, genMapPerTask, false},
+		{"pop on stack map", HelperStackPop, genMapStack, true},
+		{"perf output on array map", HelperPerfOutput, genMapArray, false},
+		{"perf output on ring", HelperPerfOutput, genMapRing, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder("kind")
+			for _, m := range NewGenMaps() {
+				b.AddMap(m)
+			}
+			b.StoreImm(R10, -8, 0).
+				LoadMapPtr(R1, tc.mapIdx).
+				MovReg(R2, R10).Sub(R2, 8)
+			if tc.helper == HelperPerfOutput {
+				b.Mov(R3, 8)
+			}
+			p := b.Call(tc.helper).Exit().MustBuild()
+			err := Verify(p, 0)
+			if tc.ok && err != nil {
+				t.Fatalf("compatible map rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("incompatible map accepted")
+			}
+		})
+	}
+}

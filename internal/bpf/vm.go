@@ -3,6 +3,8 @@ package bpf
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tscout/internal/kernel"
 )
@@ -40,13 +42,26 @@ func isMapHandle(v uint64) bool {
 func ptrObj(v uint64) uint32  { return uint32(v>>32) & 0x3fffffff }
 func ptrAddr(v uint64) uint32 { return uint32(v) }
 
-// LoadedProgram is a verified program ready to attach and run.
+// LoadedProgram is a verified program ready to attach and run. One loaded
+// program may be attached to tracepoints hit by many tasks concurrently,
+// so its bookkeeping is synchronized.
 type LoadedProgram struct {
 	prog *Program
-	// Printk collects HelperTracePrintk values for debugging tests.
-	Printk []uint64
-	// Runs counts invocations.
-	Runs int64
+
+	runs atomic.Int64
+
+	printkMu sync.Mutex
+	printk   []uint64
+}
+
+// Runs returns the number of times the program has been invoked.
+func (lp *LoadedProgram) Runs() int64 { return lp.runs.Load() }
+
+// Printk returns a copy of the values logged via HelperTracePrintk.
+func (lp *LoadedProgram) Printk() []uint64 {
+	lp.printkMu.Lock()
+	defer lp.printkMu.Unlock()
+	return append([]uint64(nil), lp.printk...)
 }
 
 // Load verifies p and returns an executable handle. maxInsns of 0 uses
@@ -112,7 +127,7 @@ func (ec *execState) mem(ptr uint64, off int32, size int) ([]byte, error) {
 // times the profile's per-instruction cost, plus helper costs), and any
 // runtime fault.
 func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, error) {
-	lp.Runs++
+	lp.runs.Add(1)
 	p := lp.prog
 	profile := &task.Kernel().Profile
 	ec := &execState{task: task, args: args}
@@ -365,7 +380,14 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 		// Copy cost scales with sample size.
 		return spec.CostNS + int64(size/16), nil
 	case HelperReadCounter:
+		// The counter selector is a runtime value the verifier cannot
+		// bound; an invalid id reads as 0 like the other field helpers
+		// (found by FuzzVerifyThenRun: Read would index out of range).
 		c := kernel.Counter(ec.regs[R1])
+		if !c.Valid() {
+			ec.regs[R0] = 0
+			break
+		}
 		r := ec.task.Perf().Read(c)
 		switch ec.regs[R2] {
 		case CounterPartRaw:
@@ -415,7 +437,9 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 			ec.regs[R0] = 0
 		}
 	case HelperTracePrintk:
-		lp.Printk = append(lp.Printk, ec.regs[R1])
+		lp.printkMu.Lock()
+		lp.printk = append(lp.printk, ec.regs[R1])
+		lp.printkMu.Unlock()
 		ec.regs[R0] = 0
 	default:
 		return 0, fmt.Errorf("%w: unknown helper %d", ErrRuntime, id)

@@ -327,8 +327,8 @@ func TestRunPrintk(t *testing.T) {
 	if _, _, err := lp.Run(testTask(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if len(lp.Printk) != 1 || lp.Printk[0] != 777 {
-		t.Fatalf("printk log: %v", lp.Printk)
+	if log := lp.Printk(); len(log) != 1 || log[0] != 777 {
+		t.Fatalf("printk log: %v", log)
 	}
 }
 
@@ -392,8 +392,8 @@ func TestAttachToTracepoint(t *testing.T) {
 	if len(got) != 1 || U64(got[0]) != 4242 {
 		t.Fatalf("sample: %v", got)
 	}
-	if lp.Runs != 1 {
-		t.Fatalf("run count: %d", lp.Runs)
+	if lp.Runs() != 1 {
+		t.Fatalf("run count: %d", lp.Runs())
 	}
 }
 

@@ -20,6 +20,11 @@ const (
 	numCounters
 )
 
+// Valid reports whether c names a real hardware counter. Callers feeding
+// untrusted selectors into PerfContext.Read (the BPF read_perf_counter
+// helper in particular) must check this first.
+func (c Counter) Valid() bool { return c >= 0 && c < numCounters }
+
 // String returns the perf-style event name.
 func (c Counter) String() string {
 	switch c {

@@ -1,0 +1,63 @@
+package kernel
+
+import "math/rand"
+
+// Interleaver replays a seeded pseudo-random schedule over a set of task
+// workloads: every Run tick picks one workload that still has quanta left
+// and executes its next quantum. The same seed and Add order always yield
+// the same schedule, so a harness can reproduce a specific interleaving of
+// concurrent workloads from a single corpus seed — the deterministic
+// stand-in for OS scheduling that the pipeline invariant tests drive their
+// randomized marker workloads with.
+type Interleaver struct {
+	kernel  *Kernel
+	rng     *rand.Rand
+	runners []*ivRunner
+}
+
+type ivRunner struct {
+	name string
+	left int
+	next int
+	step func(i int)
+}
+
+// NewInterleaver creates a deterministic scheduler on this kernel. Each
+// switch between different workloads during Run is charged as one context
+// switch on the kernel's global counter.
+func (k *Kernel) NewInterleaver(seed int64) *Interleaver {
+	return &Interleaver{kernel: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add registers a workload of n quanta. step is called with the quantum
+// index 0..n-1, in order, but interleaved with the quanta of every other
+// registered workload.
+func (iv *Interleaver) Add(name string, n int, step func(i int)) {
+	iv.runners = append(iv.runners, &ivRunner{name: name, left: n, step: step})
+}
+
+// Run executes every registered quantum under the seeded schedule and
+// returns the trace: the workload name chosen at each tick. Workloads are
+// consumed fully; Run leaves the Interleaver empty for reuse.
+func (iv *Interleaver) Run() []string {
+	var trace []string
+	live := append([]*ivRunner(nil), iv.runners...)
+	iv.runners = nil
+	prev := -1
+	for len(live) > 0 {
+		i := iv.rng.Intn(len(live))
+		r := live[i]
+		if prev >= 0 && trace[prev] != r.name {
+			iv.kernel.CtxSwitches.Add(1)
+		}
+		trace = append(trace, r.name)
+		prev = len(trace) - 1
+		r.step(r.next)
+		r.next++
+		r.left--
+		if r.left == 0 {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return trace
+}

@@ -1,0 +1,270 @@
+package tscout
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"tscout/internal/kernel"
+	"tscout/internal/sim"
+)
+
+// This file is the end-to-end invariant harness for the marker → codegen →
+// Collector → ring → Processor pipeline (ISSUE 2 tentpole, part 3). The
+// load-bearing invariant is the accounting identity
+//
+//	submitted == archived + dropped_ring + dropped_queue + dropped_shape
+//
+// where archived is the training points in the shard archives, dropped_ring
+// is ring-buffer overwrite, dropped_queue is user-queue overflow, and
+// dropped_shape is samples the Processor drained but could not decode.
+// Every sample a probe ever offered must be in exactly one of those
+// buckets once the rings are fully drained — a leak in either direction
+// means the self-observability stats (which drive §3.2 feedback) lie.
+
+// deployInvariant builds a deployment with an explicit pipeline shape.
+func deployInvariant(t *testing.T, mode Mode, seed int64, ringCap, par int) (*TScout, *kernel.Kernel, *Marker, *Marker) {
+	t.Helper()
+	k := kernel.New(sim.LargeHW, seed, 0)
+	ts := New(k, Config{
+		Mode:                     mode,
+		RingCapacity:             ringCap,
+		Seed:                     seed,
+		ProcessorParallelism:     par,
+		DisableProcessorFeedback: true,
+	})
+	scan := ts.MustRegisterOU(OUDef{
+		ID: testOUSeqScan, Name: "seq_scan", Subsystem: SubsystemExecutionEngine,
+		Features: []string{"num_rows", "row_bytes"},
+	}, ResourceSet{CPU: true, Memory: true, Disk: true})
+	wal := ts.MustRegisterOU(OUDef{
+		ID: testOUWAL, Name: "log_serialize", Subsystem: SubsystemLogSerializer,
+		Features: []string{"num_records", "bytes"},
+	}, ResourceSet{CPU: true, Disk: true})
+	if err := ts.Deploy(); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	ts.Sampler().SetAllRates(100)
+	return ts, k, scan, wal
+}
+
+// checkKernelIdentity asserts the accounting identity for every kernel
+// subsystem shard after the rings have been fully drained, and returns the
+// total ring drops so callers can assert the workload exercised overflow.
+func checkKernelIdentity(t *testing.T, ts *TScout) int64 {
+	t.Helper()
+	p := ts.Processor()
+	st := p.Stats()
+	var totalDropped int64
+	for _, sub := range AllSubsystems {
+		col := ts.CollectorFor(sub)
+		if col == nil {
+			continue
+		}
+		rs := col.Ring.Stats()
+		if rs.Pending != 0 {
+			t.Fatalf("%s: ring still holds %d samples after final drain", sub, rs.Pending)
+		}
+		ks := st.Kernel[sub]
+		// Non-fused samples produce exactly one point each, so the
+		// identity is 1:1 per subsystem.
+		if rs.Submitted != ks.Points+rs.Dropped+ks.DecodeErrors {
+			t.Fatalf("%s identity violated: submitted %d != points %d + dropped %d + decode errors %d",
+				sub, rs.Submitted, ks.Points, rs.Dropped, ks.DecodeErrors)
+		}
+		if ks.Drained != rs.Submitted-rs.Dropped {
+			t.Fatalf("%s: drained %d, submitted %d, dropped %d", sub, ks.Drained, rs.Submitted, rs.Dropped)
+		}
+		if ks.DecodeErrors != 0 {
+			t.Fatalf("%s: Collector emitted %d undecodable samples", sub, ks.DecodeErrors)
+		}
+		totalDropped += rs.Dropped
+	}
+	if got := int64(len(p.Points())); got != st.Processed {
+		t.Fatalf("merged archive has %d points, Processed says %d", got, st.Processed)
+	}
+	return totalDropped
+}
+
+// TestPipelineAccountingIdentity drives seeded randomized marker workloads
+// from several tasks, interleaved with budgeted drains under a
+// deterministic schedule, across three drain-thread configurations. The
+// tiny ring forces real overwrite drops, and feature widths straddle the
+// declared OU width so pad/truncate repairs run too.
+func TestPipelineAccountingIdentity(t *testing.T) {
+	for _, par := range []int{1, 2, 4} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("threads=%d/seed=%d", par, seed), func(t *testing.T) {
+				ts, k, scan, wal := deployInvariant(t, KernelContinuous, seed, 8, par)
+				p := ts.Processor()
+
+				iv := k.NewInterleaver(seed)
+				for ti := 0; ti < 3; ti++ {
+					ti := ti
+					task := k.NewTask(fmt.Sprintf("worker%d", ti))
+					iv.Add(fmt.Sprintf("worker%d", ti), 40, func(i int) {
+						h := uint64(seed)*2654435761 + uint64(ti)*1099511628211 + uint64(i)*2246822519
+						h ^= h >> 13
+						m := scan
+						if h%3 == 0 {
+							m = wal
+						}
+						feats := make([]uint64, h%5) // declared width is 2
+						for j := range feats {
+							feats[j] = h >> uint(j)
+						}
+						w := sim.Work{
+							Instructions:    float64(1000 + h%100000),
+							BytesTouched:    float64(h % 65536),
+							WorkingSetBytes: float64(1 + h%(1<<20)),
+							AllocBytes:      int64(h % 4096),
+						}
+						runOU(ts, task, m, w, feats...)
+					})
+				}
+				// Budgeted drains race the submitters under the same
+				// deterministic schedule.
+				iv.Add("drain", 15, func(int) { p.PollBudget(3) })
+				iv.Run()
+				p.Poll() // unbudgeted sweep: empty the rings
+
+				dropped := checkKernelIdentity(t, ts)
+				if dropped == 0 {
+					t.Fatalf("workload never overflowed an 8-slot ring; the dropped_ring term went untested")
+				}
+				st := p.Stats()
+				adj := st.Kernel[SubsystemExecutionEngine].PaddedFeatures +
+					st.Kernel[SubsystemExecutionEngine].TruncatedFeatures
+				if adj == 0 {
+					t.Fatalf("randomized feature widths never triggered a pad/truncate repair")
+				}
+			})
+		}
+	}
+}
+
+// TestUserQueueAccountingIdentity is the same identity on the user-probe
+// path: marker workloads in a user mode plus injected hostile samples, so
+// dropped_queue (bounded-queue overflow) and dropped_shape (undecodable
+// and unregistered-OU samples) are both nonzero.
+func TestUserQueueAccountingIdentity(t *testing.T) {
+	for _, par := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("threads=%d", par), func(t *testing.T) {
+			ts, k, scan, wal := deployInvariant(t, UserContinuous, 9, 0, par)
+			p := ts.Processor()
+			task := k.NewTask("worker")
+			for i := 0; i < 300; i++ {
+				m := scan
+				if i%3 == 0 {
+					m = wal
+				}
+				runOU(ts, task, m, sim.Work{Instructions: 5000, AllocBytes: 32}, uint64(i), 7)
+			}
+			// Shape rejects: garbage bytes, a hostile fused count, an
+			// unregistered OU.
+			p.SubmitUserSample([]byte{1, 2, 3})
+			p.SubmitUserSample(EncodeSample(FusedOUID, 1, Metrics{}, []uint64{^uint64(0)}))
+			p.SubmitUserSample(EncodeSample(999, 1, Metrics{}, nil))
+			// Overflow the bounded queue.
+			for i := 0; i < userQueueCapacity+100; i++ {
+				p.SubmitUserSample(EncodeSample(testOUSeqScan, 1, Metrics{}, []uint64{1, 2}))
+			}
+			p.Poll()
+
+			st := p.Stats()
+			if st.User.Submitted != st.User.Drained+st.User.Dropped {
+				t.Fatalf("user identity violated: submitted %d != drained %d + dropped %d",
+					st.User.Submitted, st.User.Drained, st.User.Dropped)
+			}
+			if st.User.Drained != st.Processed+st.User.DecodeErrors {
+				t.Fatalf("drained %d != points %d + decode errors %d",
+					st.User.Drained, st.Processed, st.User.DecodeErrors)
+			}
+			if st.User.Dropped == 0 {
+				t.Fatalf("queue never overflowed; the dropped_queue term went untested")
+			}
+			if st.User.DecodeErrors != 3 {
+				t.Fatalf("expected 3 shape rejects, got %d", st.User.DecodeErrors)
+			}
+		})
+	}
+}
+
+// TestMergedArchiveSeqMonotonic drains concurrently with live submitters
+// (real goroutines, real races for the -race build) and then checks the
+// ordering contract: each shard archive is strictly seq-increasing, seqs
+// are globally unique, and Points() equals the seq-merge of the shards.
+func TestMergedArchiveSeqMonotonic(t *testing.T) {
+	ts, k, scan, wal := deployInvariant(t, KernelContinuous, 11, 64, 2)
+	p := ts.Processor()
+
+	const workers, iters = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := k.NewTask(fmt.Sprintf("worker%d", w))
+			for i := 0; i < iters; i++ {
+				m := scan
+				if (w+i)%3 == 0 {
+					m = wal
+				}
+				runOU(ts, task, m,
+					sim.Work{Instructions: 5000, BytesTouched: 2048, AllocBytes: 64},
+					uint64(i), uint64(w))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for draining := true; draining; {
+		select {
+		case <-done:
+			draining = false
+		default:
+			p.PollBudget(32)
+		}
+	}
+	p.Poll()
+
+	type flatEntry struct {
+		seq uint64
+		tp  TrainingPoint
+	}
+	var all []flatEntry
+	seen := make(map[uint64]bool)
+	for sub, sh := range p.shards {
+		sh.mu.Lock()
+		prev := uint64(0)
+		for _, e := range sh.archive {
+			if e.seq <= prev {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d archive not strictly seq-increasing: %d after %d", sub, e.seq, prev)
+			}
+			prev = e.seq
+			if seen[e.seq] {
+				sh.mu.Unlock()
+				t.Fatalf("seq %d archived in more than one shard", e.seq)
+			}
+			seen[e.seq] = true
+			all = append(all, flatEntry{seq: e.seq, tp: e.tp})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	merged := make([]TrainingPoint, len(all))
+	for i, e := range all {
+		merged[i] = e.tp
+	}
+	pts := p.Points()
+	if !reflect.DeepEqual(merged, pts) {
+		t.Fatalf("Points() is not the seq-merge of the shard archives (%d vs %d points)", len(pts), len(merged))
+	}
+	if int64(len(pts)) != p.Processed() {
+		t.Fatalf("archive holds %d points, Processed says %d", len(pts), p.Processed())
+	}
+	checkKernelIdentity(t, ts)
+}

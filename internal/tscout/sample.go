@@ -164,7 +164,16 @@ func DecodeFusedFeatures(words []uint64) ([]FusedPart, error) {
 	if len(words) == 0 {
 		return nil, fmt.Errorf("tscout: empty fused vector")
 	}
+	// words come off the wire: every count must be distrusted. A huge
+	// part count would make the allocation below panic, and a huge
+	// feature count wraps negative through int() so the i+n bounds check
+	// passes and the slice expression panics — both reachable from
+	// SubmitUserSample with attacker-shaped bytes (found by
+	// FuzzProcessorDecode; a panic here kills the drain goroutine).
 	k := int(words[0])
+	if k < 0 || k > (len(words)-1)/2 {
+		return nil, fmt.Errorf("tscout: fused vector claims %d parts in %d words", words[0], len(words))
+	}
 	parts := make([]FusedPart, 0, k)
 	i := 1
 	for p := 0; p < k; p++ {
@@ -172,11 +181,12 @@ func DecodeFusedFeatures(words []uint64) ([]FusedPart, error) {
 			return nil, fmt.Errorf("tscout: truncated fused vector")
 		}
 		ou := OUID(words[i])
-		n := int(words[i+1])
+		nw := words[i+1]
 		i += 2
-		if i+n > len(words) {
+		if nw > uint64(len(words)-i) {
 			return nil, fmt.Errorf("tscout: truncated fused features")
 		}
+		n := int(nw)
 		parts = append(parts, FusedPart{OU: ou, Features: append([]uint64(nil), words[i:i+n]...)})
 		i += n
 	}

@@ -7,3 +7,13 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race -timeout 45m ./...
+
+# FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
+# pattern per package invocation is a go test restriction).
+if [ "${FUZZ:-0}" = "1" ]; then
+	fuzztime="${FUZZTIME:-10s}"
+	go test ./internal/bpf -run '^$' -fuzz '^FuzzVerify$' -fuzztime "$fuzztime"
+	go test ./internal/bpf -run '^$' -fuzz '^FuzzVerifyThenRun$' -fuzztime "$fuzztime"
+	go test ./internal/bpf -run '^$' -fuzz '^FuzzRingbuf$' -fuzztime "$fuzztime"
+	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
+fi
