@@ -3,15 +3,21 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench figures fuzz-smoke cover
+.PHONY: check build vet lint test race bench figures fuzz-smoke cover
 
-check: build vet race
+check: build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint = go vet plus the repo-local verify-before-run analysis (bpfcheck):
+# no non-test code may construct a bpf.LoadedProgram directly or discard
+# the error from the bpf verification entry points.
+lint: vet
+	$(GO) run ./internal/analysis/bpfcheck .
 
 test:
 	$(GO) test ./...
@@ -29,6 +35,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzVerifyThenRun$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzOptimize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzRingbuf$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
 

@@ -15,7 +15,10 @@
 //	tsctl stats                 run a short instrumented burst and print
 //	                            the Processor pipeline's self-observed
 //	                            telemetry (per-subsystem drain counters,
-//	                            budgets, feedback actions)
+//	                            budgets, feedback actions, codegen savings)
+//	tsctl vet                   verify, optimize, and lint every generated
+//	                            Collector program across all subsystems and
+//	                            resource masks; non-zero exit on any failure
 package main
 
 import (
@@ -33,8 +36,12 @@ import (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats")
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "vet" {
+		// vet audits the Codegen output directly; it needs no server.
+		os.Exit(vet(os.Stdout))
 	}
 	srv, err := dbms.NewServer(dbms.Config{
 		Seed:       1,
@@ -42,6 +49,9 @@ func main() {
 		WAL:        wal.Config{Synchronous: true},
 	})
 	if err != nil {
+		// Collector verification failures arrive here wrapped with the
+		// failing pc and instruction (describeVerifyError in codegen);
+		// print them and exit non-zero rather than limping on.
 		fmt.Fprintf(os.Stderr, "tsctl: %v\n", err)
 		os.Exit(1)
 	}

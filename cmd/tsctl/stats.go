@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tscout/internal/bpf"
 	"tscout/internal/tscout"
 )
 
@@ -29,5 +30,32 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 	fmt.Fprintf(&b, "feedback-actions=%d flush-queue-drops=%d pending-flush=%d processed=%d\n",
 		st.FeedbackActions, st.FlushQueueDrops, st.PendingFlush, st.Processed)
 	fmt.Fprintf(&b, "drop-fraction=%.3f\n", st.DropFraction())
+
+	// Codegen savings only render when the optimizer ran, so deployments
+	// without it (and the zero-value snapshot) keep the compact layout.
+	optimized := false
+	for i := range st.Codegen {
+		optimized = optimized || st.Codegen[i].Enabled
+	}
+	if optimized {
+		fmt.Fprintf(&b, "\ncodegen insns (before->after per program):\n")
+		progCol := func(s tscout.CollectorOptStats) [3]string {
+			format := func(o bpf.OptStats) string {
+				return fmt.Sprintf("%d->%d", o.BeforeInsns, o.AfterInsns)
+			}
+			return [3]string{format(s.Begin), format(s.End), format(s.Features)}
+		}
+		fmt.Fprintf(&b, "%-18s %10s %10s %10s %8s\n", "subsystem", "begin", "end", "features", "saved")
+		for _, sub := range tscout.AllSubsystems {
+			cg := st.Codegen[sub]
+			if !cg.Enabled {
+				continue
+			}
+			cols := progCol(cg)
+			fmt.Fprintf(&b, "%-18s %10s %10s %10s %8d\n",
+				sub.String(), cols[0], cols[1], cols[2], cg.Saved())
+		}
+		fmt.Fprintf(&b, "total-insns-saved=%d\n", st.TotalInsnsSaved())
+	}
 	return b.String()
 }

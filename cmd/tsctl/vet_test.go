@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVetClean is the acceptance gate: every generated Collector program
+// must verify, optimize, and come out lint-clean, and the optimizer must
+// save a nonzero number of instructions overall.
+func TestVetClean(t *testing.T) {
+	var b strings.Builder
+	if code := vet(&b); code != 0 {
+		t.Fatalf("vet exit code %d, want 0:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"vet: 192 programs",
+		"0 verify/optimize errors, 0 residual lint findings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("vet output missing %q:\n%s", want, out)
+		}
+	}
+	// The summary line carries the total savings; it must be positive.
+	if strings.Contains(out, "(saved 0)") || !strings.Contains(out, "saved ") {
+		t.Fatalf("vet reports no optimizer savings:\n%s", out)
+	}
+}

@@ -1,0 +1,239 @@
+// Package analysis holds repo-local static checks that run in `make lint`.
+//
+// The one check so far guards the codebase's central safety invariant (the
+// paper's §5.1 story, DESIGN.md §2): a bpf.Program must only execute after
+// the verifier has accepted it. The public API enforces this by funneling
+// execution through bpf.Load, which verifies first — but Go cannot stop a
+// caller from discarding the verification error and running the program
+// anyway, or from conjuring a zero-valued bpf.LoadedProgram composite
+// literal that never saw the verifier. This pass flags both patterns in
+// non-test code, using only go/parser and go/ast so it needs no external
+// analysis framework.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule names, stable for grepping and for test assertions.
+const (
+	// RuleConstructedLoadedProgram flags composite literals of
+	// bpf.LoadedProgram outside the bpf package: a LoadedProgram that did
+	// not come from bpf.Load never passed verification.
+	RuleConstructedLoadedProgram = "constructed-loaded-program"
+	// RuleDiscardedVerifyError flags discarding the error result of
+	// bpf.Verify, bpf.Load, bpf.Analyze, or bpf.Optimize (blank
+	// identifier or bare call statement): ignoring the verdict defeats
+	// the verify-before-run contract.
+	RuleDiscardedVerifyError = "discarded-verify-error"
+)
+
+// verifyFuncs maps the bpf package's verification entry points to the
+// index of the error in their result list.
+var verifyFuncs = map[string]int{
+	"Verify":   0, // func Verify(p, maxInsns) error
+	"Analyze":  1, // func Analyze(p, maxInsns) (*Analysis, error)
+	"Load":     1, // func Load(p, maxInsns) (*LoadedProgram, error)
+	"Optimize": 2, // func Optimize(p, maxInsns) (*Program, OptStats, error)
+}
+
+// bpfImportSuffix identifies the guarded package by import-path suffix, so
+// the check keeps working if the module is renamed or vendored.
+const bpfImportSuffix = "internal/bpf"
+
+// Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	File    string
+	Line    int
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the conventional file:line style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Rule, d.Message)
+}
+
+// CheckDir walks root and checks every non-test Go file outside the bpf
+// package itself (which constructs its own states by design) and outside
+// testdata trees. Diagnostics come back sorted by file and line.
+func CheckDir(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			if rel, rerr := filepath.Rel(root, path); rerr == nil &&
+				strings.HasSuffix(filepath.ToSlash(rel), bpfImportSuffix) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fd, ferr := checkFile(path)
+		if ferr != nil {
+			return ferr
+		}
+		diags = append(diags, fd...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		return diags[i].Line < diags[j].Line
+	})
+	return diags, nil
+}
+
+// checkFile parses and checks a single file.
+func checkFile(path string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+	}
+	bpfName := bpfImportName(f)
+	if bpfName == "" {
+		return nil, nil
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		diags = append(diags, Diagnostic{File: path, Line: p.Line, Rule: rule, Message: msg})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			if isBpfSelector(node.Type, bpfName, "LoadedProgram") {
+				report(node.Pos(), RuleConstructedLoadedProgram,
+					"bpf.LoadedProgram constructed directly; only bpf.Load returns verified programs")
+			}
+		case *ast.ExprStmt:
+			if name, ok := verifyCall(node.X, bpfName); ok {
+				report(node.Pos(), RuleDiscardedVerifyError,
+					fmt.Sprintf("result of bpf.%s discarded; the verification verdict must be checked", name))
+			}
+		case *ast.AssignStmt:
+			if len(node.Rhs) != 1 {
+				return true
+			}
+			name, ok := verifyCall(node.Rhs[0], bpfName)
+			if !ok {
+				return true
+			}
+			errIdx := verifyFuncs[name]
+			if errIdx < len(node.Lhs) && isBlank(node.Lhs[errIdx]) {
+				report(node.Pos(), RuleDiscardedVerifyError,
+					fmt.Sprintf("error from bpf.%s assigned to _; the verification verdict must be checked", name))
+			}
+		}
+		return true
+	})
+	return diags, nil
+}
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// bpfImportName returns the local name under which the file imports the
+// bpf package, or "" if it does not.
+func bpfImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		pathVal, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasSuffix(pathVal, bpfImportSuffix) {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "" // dot/blank imports are not resolvable syntactically
+			}
+			return imp.Name.Name
+		}
+		return "bpf"
+	}
+	return ""
+}
+
+// isBpfSelector reports whether expr is `<bpfName>.<sel>` (possibly behind
+// a unary & or pointer star).
+func isBpfSelector(expr ast.Expr, bpfName, sel string) bool {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return isBpfSelector(e.X, bpfName, sel)
+	case *ast.SelectorExpr:
+		id, ok := e.X.(*ast.Ident)
+		return ok && id.Name == bpfName && e.Sel.Name == sel
+	}
+	return false
+}
+
+// verifyCall reports whether expr calls one of the bpf verification entry
+// points, returning the function name.
+func verifyCall(expr ast.Expr, bpfName string) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != bpfName {
+		return "", false
+	}
+	if _, known := verifyFuncs[sel.Sel.Name]; !known {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// Main is the bpfcheck entry point, split from the command for testing: it
+// checks each root, prints diagnostics, and returns the exit code.
+func Main(out *os.File, roots []string) int {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		diags, err := CheckDir(root)
+		if err != nil {
+			fmt.Fprintf(out, "bpfcheck: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d.String())
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(out, "bpfcheck: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> source into a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rules(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Rule
+	}
+	return out
+}
+
+func TestCheckDirFlagsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/bad.go": `package pkg
+
+import "tscout/internal/bpf"
+
+func bad(p *bpf.Program) {
+	lp := &bpf.LoadedProgram{}
+	_ = lp
+	bpf.Verify(p, 0)
+	q, _ := bpf.Load(p, 0)
+	_ = q
+	r, _, _ := bpf.Optimize(p, 0)
+	_ = r
+}
+`,
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		RuleConstructedLoadedProgram,
+		RuleDiscardedVerifyError, // bare bpf.Verify
+		RuleDiscardedVerifyError, // _, from Load
+		RuleDiscardedVerifyError, // _, from Optimize
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, r := range rules(diags) {
+		if r != want[i] {
+			t.Fatalf("diagnostic %d rule %q, want %q: %v", i, r, want[i], diags)
+		}
+	}
+	// Diagnostics are ordered by line.
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Line < diags[i-1].Line {
+			t.Fatalf("diagnostics out of order: %v", diags)
+		}
+	}
+}
+
+func TestCheckDirAcceptsCheckedCode(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/good.go": `package pkg
+
+import "tscout/internal/bpf"
+
+func good(p *bpf.Program) error {
+	if err := bpf.Verify(p, 0); err != nil {
+		return err
+	}
+	lp, err := bpf.Load(p, 0)
+	if err != nil {
+		return err
+	}
+	_ = lp
+	return nil
+}
+`,
+		// No bpf import at all: must not be parsed for bpf patterns.
+		"pkg/other.go": `package pkg
+
+func helper() int { return 42 }
+`,
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestCheckDirSkipsExemptTrees(t *testing.T) {
+	violation := `package pkg
+
+import "tscout/internal/bpf"
+
+func bad(p *bpf.Program) { bpf.Verify(p, 0) }
+`
+	root := writeTree(t, map[string]string{
+		"pkg/bad_test.go":          violation, // tests may probe unverified programs
+		"internal/bpf/verifier.go": violation, // the bpf package itself is exempt
+		"pkg/testdata/gen.go":      violation, // fixtures are not shipped code
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("exempt trees produced diagnostics: %v", diags)
+	}
+}
+
+func TestCheckDirHonorsImportAlias(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/alias.go": `package pkg
+
+import ebpf "tscout/internal/bpf"
+
+func bad(p *ebpf.Program) { ebpf.Verify(p, 0) }
+`,
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != RuleDiscardedVerifyError {
+		t.Fatalf("aliased import not tracked: %v", diags)
+	}
+}
+
+// TestRepoIsClean runs the analysis over the repository itself: the gate
+// `make lint` enforces must hold for the checked-in tree.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := CheckDir(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository violates the verify-before-run contract:\n%v", diags)
+	}
+}

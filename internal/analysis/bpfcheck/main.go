@@ -1,0 +1,17 @@
+// Command bpfcheck runs the repo-local verify-before-run analysis over a
+// source tree: it flags code that constructs bpf.LoadedProgram directly or
+// discards the error from the bpf verification entry points. Wired into
+// `make lint` and scripts/check.sh.
+//
+// Usage: bpfcheck [dir ...]   (defaults to ".")
+package main
+
+import (
+	"os"
+
+	"tscout/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, os.Args[1:]))
+}

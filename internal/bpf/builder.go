@@ -135,6 +135,16 @@ func (b *Builder) Rsh(dst Reg, imm int64) *Builder {
 	return b.emit(Insn{Op: OpRshImm, Dst: dst, Imm: imm})
 }
 
+// Arsh shifts dst right (arithmetic, sign-propagating) by an immediate.
+func (b *Builder) Arsh(dst Reg, imm int64) *Builder {
+	return b.emit(Insn{Op: OpArshImm, Dst: dst, Imm: imm})
+}
+
+// ArshReg shifts dst right (arithmetic) by src.
+func (b *Builder) ArshReg(dst, src Reg) *Builder {
+	return b.emit(Insn{Op: OpArshReg, Dst: dst, Src: src})
+}
+
 // Load loads *(u64*)(src+off) into dst.
 func (b *Builder) Load(dst, src Reg, off int32) *Builder {
 	return b.emit(Insn{Op: OpLoad, Dst: dst, Src: src, Off: off})

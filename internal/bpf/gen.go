@@ -95,8 +95,8 @@ type progGen struct {
 	b        *Builder
 	st       genState
 	labelN   int
-	depth    int            // nesting depth of branch/loop constructs
-	reserved [numRegs]bool  // loop counters the body must not clobber
+	depth    int           // nesting depth of branch/loop constructs
+	reserved [numRegs]bool // loop counters the body must not clobber
 }
 
 // GenProgram deterministically generates a valid-by-construction program
@@ -261,16 +261,16 @@ func (g *progGen) genMovImm() {
 func (g *progGen) genALU() {
 	dst := g.scalarReg()
 	ops := []Op{OpAddImm, OpSubImm, OpMulImm, OpDivImm, OpModImm, OpAndImm,
-		OpOrImm, OpXorImm, OpLshImm, OpRshImm, OpNeg,
+		OpOrImm, OpXorImm, OpLshImm, OpRshImm, OpArshImm, OpNeg,
 		OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg, OpXorReg,
-		OpLshReg, OpRshReg, OpDivReg, OpModReg}
+		OpLshReg, OpRshReg, OpArshReg, OpDivReg, OpModReg}
 	op := ops[g.rng.Intn(len(ops))]
 	in := Insn{Op: op, Dst: dst}
 	switch op {
 	case OpNeg:
 	case OpDivImm, OpModImm:
 		in.Imm = int64(g.rng.Intn(1000) + 1) // never the constant zero
-	case OpLshImm, OpRshImm:
+	case OpLshImm, OpRshImm, OpArshImm:
 		in.Imm = int64(g.rng.Intn(64))
 	default:
 		if isRegSrc(op) {

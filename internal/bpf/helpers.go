@@ -94,38 +94,43 @@ const (
 	RetMapValueOrNull
 )
 
-// HelperSpec describes a helper's signature and kernel-space cost.
+// HelperSpec describes a helper's signature and kernel-space cost. Pure
+// helpers only read task/kernel state and write R0 — they have no effect
+// observable outside the invocation, so the optimizer may delete a call
+// whose result is dead. Map helpers are all impure: even lookup can
+// materialize state (PerTaskMap auto-creates the slot on first lookup).
 type HelperSpec struct {
 	ID     int64
 	Name   string
 	Args   []ArgKind
 	Ret    RetKind
 	CostNS int64
+	Pure   bool
 }
 
 var helperSpecs = map[int64]HelperSpec{
 	HelperMapLookup: {HelperMapLookup, "map_lookup_elem",
-		[]ArgKind{ArgConstMap, ArgPtrKey}, RetMapValueOrNull, 12},
+		[]ArgKind{ArgConstMap, ArgPtrKey}, RetMapValueOrNull, 12, false},
 	HelperMapUpdate: {HelperMapUpdate, "map_update_elem",
-		[]ArgKind{ArgConstMap, ArgPtrKey, ArgPtrValue}, RetScalar, 18},
+		[]ArgKind{ArgConstMap, ArgPtrKey, ArgPtrValue}, RetScalar, 18, false},
 	HelperMapDelete: {HelperMapDelete, "map_delete_elem",
-		[]ArgKind{ArgConstMap, ArgPtrKey}, RetScalar, 13},
+		[]ArgKind{ArgConstMap, ArgPtrKey}, RetScalar, 13, false},
 	HelperStackPush: {HelperStackPush, "stack_push",
-		[]ArgKind{ArgConstMap, ArgPtrValue}, RetScalar, 14},
+		[]ArgKind{ArgConstMap, ArgPtrValue}, RetScalar, 14, false},
 	HelperStackPop: {HelperStackPop, "stack_pop",
-		[]ArgKind{ArgConstMap, ArgPtrValue}, RetScalar, 14},
+		[]ArgKind{ArgConstMap, ArgPtrValue}, RetScalar, 14, false},
 	HelperPerfOutput: {HelperPerfOutput, "perf_event_output",
-		[]ArgKind{ArgConstMap, ArgPtrSized, ArgSizeConst}, RetScalar, 40},
+		[]ArgKind{ArgConstMap, ArgPtrSized, ArgSizeConst}, RetScalar, 40, false},
 	HelperReadCounter: {HelperReadCounter, "read_perf_counter",
-		[]ArgKind{ArgScalar, ArgScalar}, RetScalar, 11},
+		[]ArgKind{ArgScalar, ArgScalar}, RetScalar, 11, true},
 	HelperReadIOAC: {HelperReadIOAC, "read_task_ioac",
-		[]ArgKind{ArgScalar}, RetScalar, 8},
+		[]ArgKind{ArgScalar}, RetScalar, 8, true},
 	HelperReadSock: {HelperReadSock, "read_tcp_sock",
-		[]ArgKind{ArgScalar}, RetScalar, 8},
-	HelperGetPID:      {HelperGetPID, "get_current_pid", nil, RetScalar, 3},
-	HelperKtime:       {HelperKtime, "ktime_get_ns", nil, RetScalar, 4},
-	HelperGetArg:      {HelperGetArg, "get_tracepoint_arg", []ArgKind{ArgScalar}, RetScalar, 2},
-	HelperTracePrintk: {HelperTracePrintk, "trace_printk", []ArgKind{ArgScalar}, RetScalar, 40},
+		[]ArgKind{ArgScalar}, RetScalar, 8, true},
+	HelperGetPID:      {HelperGetPID, "get_current_pid", nil, RetScalar, 3, true},
+	HelperKtime:       {HelperKtime, "ktime_get_ns", nil, RetScalar, 4, true},
+	HelperGetArg:      {HelperGetArg, "get_tracepoint_arg", []ArgKind{ArgScalar}, RetScalar, 2, true},
+	HelperTracePrintk: {HelperTracePrintk, "trace_printk", []ArgKind{ArgScalar}, RetScalar, 40, false},
 }
 
 // HelperByID returns the spec for a helper ID.

@@ -106,6 +106,13 @@ const (
 	OpCall
 	// Exit returns R0 to the kernel.
 	OpExit
+
+	// Arithmetic (sign-propagating) right shift: dst = int64(dst) >> (src|imm).
+	// Appended after OpExit so the opcode numbering of the existing
+	// instructions — and with it the on-disk fuzz corpora encoded by
+	// EncodeInsns — stays stable.
+	OpArshImm
+	OpArshReg
 )
 
 var opNames = map[Op]string{
@@ -114,7 +121,8 @@ var opNames = map[Op]string{
 	OpDivImm: "div", OpDivReg: "divr", OpModImm: "mod", OpModReg: "modr",
 	OpAndImm: "and", OpAndReg: "andr", OpOrImm: "or", OpOrReg: "orr",
 	OpXorImm: "xor", OpXorReg: "xorr", OpLshImm: "lsh", OpLshReg: "lshr",
-	OpRshImm: "rsh", OpRshReg: "rshr", OpNeg: "neg",
+	OpRshImm: "rsh", OpRshReg: "rshr", OpArshImm: "arsh", OpArshReg: "arshr",
+	OpNeg:  "neg",
 	OpLoad: "ldx", OpStore: "stx", OpStoreImm: "st", OpLoadMapPtr: "ldmap",
 	OpJa: "ja", OpJeqImm: "jeq", OpJeqReg: "jeqr", OpJneImm: "jne",
 	OpJneReg: "jner", OpJgtImm: "jgt", OpJgtReg: "jgtr", OpJgeImm: "jge",
@@ -184,7 +192,7 @@ func isCondJump(op Op) bool { return isJump(op) && op != OpJa }
 func isRegSrc(op Op) bool {
 	switch op {
 	case OpMovReg, OpAddReg, OpSubReg, OpMulReg, OpDivReg, OpModReg,
-		OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg,
+		OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg, OpArshReg,
 		OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg,
 		OpStore, OpLoad:
 		return true
@@ -197,7 +205,7 @@ func isALU(op Op) bool {
 	case OpMovImm, OpMovReg, OpAddImm, OpAddReg, OpSubImm, OpSubReg,
 		OpMulImm, OpMulReg, OpDivImm, OpDivReg, OpModImm, OpModReg,
 		OpAndImm, OpAndReg, OpOrImm, OpOrReg, OpXorImm, OpXorReg,
-		OpLshImm, OpLshReg, OpRshImm, OpRshReg, OpNeg:
+		OpLshImm, OpLshReg, OpRshImm, OpRshReg, OpArshImm, OpArshReg, OpNeg:
 		return true
 	}
 	return false

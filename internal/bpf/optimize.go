@@ -1,0 +1,241 @@
+package bpf
+
+import "fmt"
+
+// The optimizer shrinks a verified program without changing any behavior
+// observable outside the invocation: R0 at exit, impure helper calls (in
+// order, with arguments), and map/ring contents. It runs rounds of
+//
+//   1. constant folding      ALU whose abstract result is a single value
+//                            becomes MovImm
+//   2. branch simplification never-taken branches drop, always-taken
+//                            branches become Ja, jumps-to-next drop
+//   3. dead code elimination pure register defs, exact stack stores, and
+//                            pure helper calls whose results are dead
+//   4. unreachable removal   pcs the abstract interpreter proved
+//                            unreachable (via pruned edges)
+//
+// over a fresh Analysis each round until nothing changes, then re-verifies
+// the result. FuzzOptimize differentially checks the equivalence claim
+// against the VM on generator-produced programs.
+
+// OptStats counts what Optimize did.
+type OptStats struct {
+	BeforeInsns       int
+	AfterInsns        int
+	Rounds            int
+	FoldedConst       int
+	SimplifiedBranch  int
+	RemovedJumpToNext int
+	RemovedDead       int
+	RemovedStores     int
+	RemovedCalls      int
+	RemovedUnreached  int
+}
+
+// Saved returns the net instruction-count reduction.
+func (s OptStats) Saved() int { return s.BeforeInsns - s.AfterInsns }
+
+// Optimize returns a behavior-equivalent, no-larger program. The input
+// must verify (maxInsns of 0 uses DefaultMaxInsns); the output is
+// re-verified before it is returned, so a bug in a pass surfaces as an
+// error here rather than as an unverified program loading.
+func Optimize(p *Program, maxInsns int) (*Program, OptStats, error) {
+	stats := OptStats{BeforeInsns: len(p.Insns)}
+	cur := p
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
+		a, err := Analyze(cur, maxInsns)
+		if err != nil {
+			if round == 0 {
+				return nil, stats, fmt.Errorf("bpf: optimize: input program: %w", err)
+			}
+			return nil, stats, fmt.Errorf("bpf: optimize: round %d produced an unverifiable program: %w", round, err)
+		}
+		next, changed := optimizeRound(a, &stats)
+		if !changed {
+			break
+		}
+		stats.Rounds++
+		cur = next
+	}
+	if err := Verify(cur, maxInsns); err != nil {
+		return nil, stats, fmt.Errorf("bpf: optimize: result failed re-verification: %w", err)
+	}
+	stats.AfterInsns = len(cur.Insns)
+	return cur, stats, nil
+}
+
+// optimizeRound applies one round of all passes to the analyzed program,
+// returning the rebuilt program and whether anything changed.
+func optimizeRound(a *Analysis, stats *OptStats) (*Program, bool) {
+	p := a.prog
+	n := len(p.Insns)
+	insns := append([]Insn(nil), p.Insns...)
+	drop := make([]bool, n)
+	changed := false
+
+	// Pass 1+2: constant folding and branch simplification need only the
+	// fixpoint states.
+	for pc := 0; pc < n; pc++ {
+		in := insns[pc]
+		if !a.states[pc].valid {
+			drop[pc] = true
+			stats.RemovedUnreached++
+			changed = true
+			continue
+		}
+		switch {
+		case isALU(in.Op) && in.Op != OpMovImm:
+			if c, ok := a.foldableConst(pc, in); ok {
+				insns[pc] = Insn{Op: OpMovImm, Dst: in.Dst, Imm: c}
+				stats.FoldedConst++
+				changed = true
+			}
+		case in.Op == OpJa && in.Off == 0:
+			drop[pc] = true
+			stats.RemovedJumpToNext++
+			changed = true
+		case isCondJump(in.Op):
+			taken, fall := a.CondEdges(pc)
+			switch {
+			case in.Off == 0:
+				// Both edges land on the next instruction.
+				drop[pc] = true
+				stats.RemovedJumpToNext++
+				changed = true
+			case !taken && fall:
+				drop[pc] = true
+				stats.SimplifiedBranch++
+				changed = true
+			case taken && !fall:
+				insns[pc] = Insn{Op: OpJa, Off: in.Off, LoopBound: in.LoopBound}
+				stats.SimplifiedBranch++
+				changed = true
+			}
+		}
+	}
+
+	// Pass 3: liveness-driven dead code elimination. Skip it when the
+	// program already changed this round — the next round's fresh
+	// analysis sees the simplified CFG and produces sharper liveness.
+	if !changed {
+		lv := a.Liveness()
+		for pc := 0; pc < n; pc++ {
+			in := insns[pc]
+			switch {
+			case in.Op == OpMovImm, in.Op == OpMovReg, in.Op == OpLoadMapPtr,
+				in.Op == OpLoad, isALU(in.Op):
+				// A pure def is dead when its destination is not live
+				// after. Loads are pure (verified in-bounds, cannot
+				// fault), but a load also *uses* stack bytes — dropping
+				// it only removes uses, which is safe.
+				if lv.LiveOutRegs(pc)&regBit(in.Dst) == 0 {
+					drop[pc] = true
+					stats.RemovedDead++
+					changed = true
+				}
+			case in.Op == OpStore, in.Op == OpStoreImm:
+				// A stack store is dead when no byte it writes is live
+				// after. Only exact stores qualify; stores through
+				// map-value pointers escape and are never dead.
+				st := &a.states[pc]
+				base := st.regs[in.Dst]
+				if base.kind != rkPtrStack || base.lo != base.hi {
+					continue
+				}
+				lo := base.lo + int64(in.Off)
+				dead := true
+				for i := int64(0); i < 8; i++ {
+					if lv.LiveOutStackByte(pc, int(lo+i+StackSize)) {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					drop[pc] = true
+					stats.RemovedStores++
+					changed = true
+				}
+			case in.Op == OpCall:
+				spec, _ := HelperByID(in.Imm)
+				if !spec.Pure {
+					continue
+				}
+				// The helper only writes R0; R1-R5 keep their values in
+				// the VM, and the verifier treats them as clobbered, so
+				// dropping the call can only make later code *more*
+				// defined. Dead R0 makes the call removable.
+				if lv.LiveOutRegs(pc)&regBit(R0) == 0 {
+					drop[pc] = true
+					stats.RemovedCalls++
+					changed = true
+				}
+			}
+		}
+	}
+
+	if !changed {
+		return p, false
+	}
+	return rebuild(p, insns, drop), true
+}
+
+// foldableConst reports whether the scalar ALU instruction at pc always
+// produces the same value, using the fixpoint in-state.
+func (a *Analysis) foldableConst(pc int, in Insn) (int64, bool) {
+	st := &a.states[pc]
+	dst := st.regs[in.Dst]
+	var src regState
+	if isRegSrc(in.Op) {
+		src = st.regs[in.Src]
+	} else {
+		src = constReg(in.Imm)
+	}
+	if in.Op == OpMovReg {
+		if src.kind == rkScalar && src.vr.IsConst() {
+			return int64(src.vr.Const()), true
+		}
+		return 0, false
+	}
+	if dst.kind != rkScalar || src.kind != rkScalar {
+		return 0, false
+	}
+	out := vrTransfer(in.Op, dst.vr, src.vr)
+	if out.IsConst() {
+		return int64(out.Const()), true
+	}
+	return 0, false
+}
+
+// rebuild drops the marked instructions and remaps jump displacements.
+// newIdx[pc] counts the kept instructions before pc, which is exactly the
+// new index of the first kept instruction at or after pc — so jump
+// targets into dropped (always unreachable or no-op) regions slide
+// forward to the next kept instruction.
+func rebuild(p *Program, insns []Insn, drop []bool) *Program {
+	n := len(insns)
+	newIdx := make([]int, n+1)
+	k := 0
+	for pc := 0; pc < n; pc++ {
+		newIdx[pc] = k
+		if !drop[pc] {
+			k++
+		}
+	}
+	newIdx[n] = k
+
+	out := make([]Insn, 0, k)
+	for pc := 0; pc < n; pc++ {
+		if drop[pc] {
+			continue
+		}
+		in := insns[pc]
+		if isJump(in.Op) {
+			tgt := pc + 1 + int(in.Off)
+			in.Off = int32(newIdx[tgt] - (newIdx[pc] + 1))
+		}
+		out = append(out, in)
+	}
+	return &Program{Name: p.Name, Insns: out, Maps: p.Maps}
+}

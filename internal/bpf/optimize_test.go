@@ -1,0 +1,231 @@
+package bpf
+
+import (
+	"math"
+	"testing"
+)
+
+// optimizeAndRun optimizes p, asserts the result still verifies and that
+// both versions return the same R0, and returns the optimized program
+// with its stats.
+func optimizeAndRun(t *testing.T, p *Program) (*Program, OptStats) {
+	t.Helper()
+	opt, stats, err := Optimize(p, 0)
+	if err != nil {
+		t.Fatalf("optimize:\n%s\n%v", p.Disassemble(), err)
+	}
+	if stats.BeforeInsns != len(p.Insns) || stats.AfterInsns != len(opt.Insns) {
+		t.Fatalf("stats insn counts %d/%d do not match programs %d/%d",
+			stats.BeforeInsns, stats.AfterInsns, len(p.Insns), len(opt.Insns))
+	}
+	task := testTask()
+	lpO, err := Load(p, 0)
+	if err != nil {
+		t.Fatalf("load original: %v", err)
+	}
+	lpN, err := Load(opt, 0)
+	if err != nil {
+		t.Fatalf("load optimized:\n%s\n%v", opt.Disassemble(), err)
+	}
+	r0, _, errO := lpO.Run(task, nil)
+	r1, _, errN := lpN.Run(task, nil)
+	if errO != nil || errN != nil {
+		t.Fatalf("run: original %v, optimized %v", errO, errN)
+	}
+	if r0 != r1 {
+		t.Fatalf("behavior changed: original R0=%d, optimized R0=%d\noriginal:\n%s\noptimized:\n%s",
+			r0, r1, p.Disassemble(), opt.Disassemble())
+	}
+	return opt, stats
+}
+
+func TestOptimizeConstFoldAndDCE(t *testing.T) {
+	p := NewBuilder("fold").
+		Mov(R1, 6).
+		Mov(R2, 7).
+		MulReg(R1, R2).
+		MovReg(R0, R1).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.FoldedConst == 0 {
+		t.Fatalf("expected constant folds, got %+v", stats)
+	}
+	if len(opt.Insns) != 2 {
+		t.Fatalf("expected 2 insns (mov r0, 42; exit), got:\n%s", opt.Disassemble())
+	}
+	if in := opt.Insns[0]; in.Op != OpMovImm || in.Dst != R0 || in.Imm != 42 {
+		t.Fatalf("expected mov r0, 42, got %q", in.String())
+	}
+}
+
+func TestOptimizeBranchAlwaysTaken(t *testing.T) {
+	p := NewBuilder("always").
+		Mov(R0, 5).
+		Jeq(R0, 5, "out").
+		Mov(R0, 99). // provably unreachable
+		Label("out").
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.SimplifiedBranch == 0 || stats.RemovedUnreached == 0 {
+		t.Fatalf("expected branch simplification and unreachable removal, got %+v", stats)
+	}
+	if len(opt.Insns) != 2 {
+		t.Fatalf("expected mov/exit, got:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeBranchNeverTaken(t *testing.T) {
+	p := NewBuilder("never").
+		Mov(R0, 5).
+		Jeq(R0, 6, "other").
+		Exit().
+		Label("other").
+		Mov(R0, 1).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.SimplifiedBranch == 0 {
+		t.Fatalf("expected a dropped never-taken branch, got %+v", stats)
+	}
+	if len(opt.Insns) != 2 {
+		t.Fatalf("expected mov/exit, got:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeDeadStore(t *testing.T) {
+	p := NewBuilder("deadstore").
+		StoreImm(R10, -8, 41).
+		StoreImm(R10, -8, 42). // first store is dead
+		Load(R0, R10, -8).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.RemovedStores != 1 {
+		t.Fatalf("expected exactly the shadowed store removed, got %+v\n%s", stats, opt.Disassemble())
+	}
+	if len(opt.Insns) != 3 {
+		t.Fatalf("expected 3 insns, got:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeDeadPureCall(t *testing.T) {
+	p := NewBuilder("deadcall").
+		Call(HelperKtime). // result overwritten before any read
+		Mov(R0, 7).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.RemovedCalls != 1 {
+		t.Fatalf("expected the dead ktime call removed, got %+v", stats)
+	}
+	if len(opt.Insns) != 2 {
+		t.Fatalf("expected mov/exit, got:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeKeepsImpureCall(t *testing.T) {
+	p := NewBuilder("impure").
+		Mov(R1, 123).
+		Call(HelperTracePrintk). // side effect: must survive even with R0 dead
+		Mov(R0, 0).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.RemovedCalls != 0 {
+		t.Fatalf("impure call must not be removed, got %+v", stats)
+	}
+	found := false
+	for _, in := range opt.Insns {
+		if in.Op == OpCall && in.Imm == HelperTracePrintk {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("printk call missing from:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeJumpRemap(t *testing.T) {
+	// A live conditional jump over a region containing dead code: dropping
+	// the dead instructions must retarget the jump.
+	p := NewBuilder("remap").
+		Call(HelperKtime).
+		Jeq(R0, 0, "zero").
+		Mov(R3, 1). // dead
+		Mov(R0, 10).
+		Exit().
+		Label("zero").
+		Mov(R0, 20).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.RemovedDead == 0 {
+		t.Fatalf("expected dead mov removed, got %+v", stats)
+	}
+	if err := Verify(opt, 0); err != nil {
+		t.Fatalf("remapped program does not verify:\n%s\n%v", opt.Disassemble(), err)
+	}
+	if len(opt.Insns) != len(p.Insns)-1 {
+		t.Fatalf("expected exactly one insn removed:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeMinimalProgramUnchanged(t *testing.T) {
+	p := NewBuilder("minimal").
+		Call(HelperKtime).
+		Exit().
+		MustBuild()
+	opt, stats := optimizeAndRun(t, p)
+	if stats.Saved() != 0 || stats.Rounds != 0 {
+		t.Fatalf("minimal program should be untouched, got %+v", stats)
+	}
+	if len(opt.Insns) != 2 {
+		t.Fatalf("unexpected rewrite:\n%s", opt.Disassemble())
+	}
+}
+
+// Scalars whose bits fall in the VM's pointer-tagged range must fold
+// consistently with what the VM executes (static ALU dispatch makes the
+// scalar path evalALU regardless of the value's tag bits).
+func TestOptimizeTaggedScalarFold(t *testing.T) {
+	p := NewBuilder("tagged").
+		Mov(R1, math.MinInt64).
+		Mul(R1, 2). // wraps to 0 under evalALU
+		MovReg(R0, R1).
+		Exit().
+		MustBuild()
+	opt, _ := optimizeAndRun(t, p)
+	if in := opt.Insns[0]; in.Op != OpMovImm || in.Imm != 0 {
+		t.Fatalf("expected fold to mov r0, 0, got:\n%s", opt.Disassemble())
+	}
+}
+
+func TestOptimizeRejectsUnverifiableInput(t *testing.T) {
+	p := &Program{Name: "bad", Insns: []Insn{{Op: OpExit}}} // R0 uninitialized
+	if _, _, err := Optimize(p, 0); err == nil {
+		t.Fatal("expected error for unverifiable input")
+	}
+}
+
+func TestOptimizePreservesLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Mov(R1, 0).
+		Mov(R0, 0).
+		Label("top").
+		Add(R0, 3).
+		Add(R1, 1).
+		JneLoop(R1, 4, "top", 8).
+		Exit()
+	p := b.MustBuild()
+	opt, _ := optimizeAndRun(t, p)
+	lp, err := Load(opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, _, _ := lp.Run(testTask(), nil)
+	if r0 != 12 {
+		t.Fatalf("loop result changed: got %d, want 12\n%s", r0, opt.Disassemble())
+	}
+}

@@ -3,13 +3,27 @@ package bpf
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrVerification wraps all verifier rejections.
 var ErrVerification = errors.New("bpf: verification failed")
 
+// VerifyError is a rejection tied to a specific instruction; tools (tsctl
+// vet, codegen error reporting) extract the failing pc via errors.As.
+type VerifyError struct {
+	PC  int
+	Msg string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("bpf: verification failed: insn %d: %s", e.PC, e.Msg)
+}
+
+func (e *VerifyError) Unwrap() error { return ErrVerification }
+
 func verr(pc int, format string, args ...any) error {
-	return fmt.Errorf("%w: insn %d: %s", ErrVerification, pc, fmt.Sprintf(format, args...))
+	return &VerifyError{PC: pc, Msg: fmt.Sprintf(format, args...)}
 }
 
 // The verifier performs abstract interpretation over the program's CFG,
@@ -18,6 +32,13 @@ func verr(pc int, format string, args ...any) error {
 // dynamic allocation outside maps, pointer access restricted to a safe API
 // (in-bounds stack and map-value memory, null-checked map lookups), and
 // helper calls checked against typed signatures.
+//
+// Each register carries a kind (the pointer lattice below) and, for
+// scalars, a VReg product value (interval × tnum, domain.go); pointers
+// carry an offset *range* [lo, hi] instead of a single offset, so
+// register-offset accesses verify whenever every offset in the range is in
+// bounds. Conditional edges are refined with vrRefine and pruned when
+// provably infeasible.
 
 type regKind uint8
 
@@ -48,13 +69,23 @@ func (k regKind) String() string {
 	return "?"
 }
 
+// offWindow bounds the pointer offsets an access check will even
+// consider. Tracked offsets themselves are exact int64s (matching the
+// VM's wrapping arithmetic modulo 2^32 — exactness is what keeps the two
+// in sync); the window guard exists so the checks below can add off and
+// size without risking int64 overflow on extreme tracked bounds.
+const offWindow = int64(1) << 32
+
 type regState struct {
 	kind   regKind
 	mapIdx int32
-	off    int64 // stack: offset rel. R10 (<=0); map value: offset into value
-	known  bool  // scalar constant known
-	val    int64
+	lo, hi int64 // pointer offset bounds (stack: rel. R10; map value: into value)
+	vr     VReg  // scalar value, meaningful only when kind == rkScalar
 }
+
+func scalarReg(v VReg) regState  { return regState{kind: rkScalar, vr: v} }
+func constReg(v int64) regState  { return scalarReg(vrConst(uint64(v))) }
+func unknownScalarReg() regState { return scalarReg(vrTop()) }
 
 type absState struct {
 	regs      [numRegs]regState
@@ -65,36 +96,63 @@ type absState struct {
 func entryState() absState {
 	var s absState
 	s.valid = true
-	s.regs[R10] = regState{kind: rkPtrStack, off: 0}
+	s.regs[R10] = regState{kind: rkPtrStack}
 	return s
 }
 
 func joinReg(a, b regState) regState {
-	if a.kind != b.kind || a.mapIdx != b.mapIdx || (a.kind != rkScalar && a.off != b.off) {
-		if a.kind != b.kind || a.mapIdx != b.mapIdx {
-			return regState{kind: rkUninit}
-		}
+	if a.kind != b.kind || a.mapIdx != b.mapIdx {
 		return regState{kind: rkUninit}
 	}
-	out := a
-	if a.kind == rkScalar {
-		if !a.known || !b.known || a.val != b.val {
-			out.known = false
-			out.val = 0
+	switch a.kind {
+	case rkScalar:
+		a.vr = vrJoin(a.vr, b.vr)
+	case rkPtrStack, rkPtrMapValue, rkPtrMapValueOrNull:
+		if b.lo < a.lo {
+			a.lo = b.lo
+		}
+		if b.hi > a.hi {
+			a.hi = b.hi
 		}
 	}
-	return out
+	return a
 }
 
-// join merges b into a, reporting whether a changed.
-func (a *absState) join(b *absState) bool {
+// widenReg is joinReg with acceleration: any bound that still moves at a
+// loop head jumps straight to its extreme so fixpoints terminate.
+func widenReg(a, b regState) regState {
+	if a.kind != b.kind || a.mapIdx != b.mapIdx {
+		return regState{kind: rkUninit}
+	}
+	switch a.kind {
+	case rkScalar:
+		a.vr = vrWiden(a.vr, b.vr)
+	case rkPtrStack, rkPtrMapValue, rkPtrMapValueOrNull:
+		if b.lo < a.lo {
+			a.lo = math.MinInt64
+		}
+		if b.hi > a.hi {
+			a.hi = math.MaxInt64
+		}
+	}
+	return a
+}
+
+// merge joins b into a (with widening when widen is set), reporting
+// whether a changed.
+func (a *absState) merge(b *absState, widen bool) bool {
 	if !a.valid {
 		*a = *b
 		return true
 	}
 	changed := false
 	for i := range a.regs {
-		merged := joinReg(a.regs[i], b.regs[i])
+		var merged regState
+		if widen {
+			merged = widenReg(a.regs[i], b.regs[i])
+		} else {
+			merged = joinReg(a.regs[i], b.regs[i])
+		}
 		if merged != a.regs[i] {
 			a.regs[i] = merged
 			changed = true
@@ -109,115 +167,6 @@ func (a *absState) join(b *absState) bool {
 	return changed
 }
 
-// Verify statically checks a program. maxInsns of 0 uses DefaultMaxInsns.
-func Verify(p *Program, maxInsns int) error {
-	if maxInsns <= 0 {
-		maxInsns = DefaultMaxInsns
-	}
-	n := len(p.Insns)
-	if n == 0 {
-		return fmt.Errorf("%w: empty program", ErrVerification)
-	}
-	if n > maxInsns {
-		return fmt.Errorf("%w: program has %d instructions, limit %d", ErrVerification, n, maxInsns)
-	}
-
-	// Structural pass: opcode validity, jump targets, loop bounds.
-	for pc, in := range p.Insns {
-		if in.Op == OpInvalid || opNames[in.Op] == "" {
-			return verr(pc, "invalid opcode %d", in.Op)
-		}
-		if in.Dst >= numRegs || in.Src >= numRegs {
-			return verr(pc, "register out of range")
-		}
-		if isJump(in.Op) {
-			tgt := pc + 1 + int(in.Off)
-			if tgt < 0 || tgt >= n {
-				return verr(pc, "jump target %d out of range", tgt)
-			}
-			if tgt <= pc && in.LoopBound <= 0 {
-				return verr(pc, "backward jump without a compile-time loop bound")
-			}
-		}
-		switch in.Op {
-		case OpDivImm, OpModImm:
-			if in.Imm == 0 {
-				return verr(pc, "division by constant zero")
-			}
-		case OpLshImm, OpRshImm:
-			if in.Imm < 0 || in.Imm >= 64 {
-				return verr(pc, "shift amount %d out of range", in.Imm)
-			}
-		case OpLoadMapPtr:
-			if in.Imm < 0 || in.Imm >= int64(len(p.Maps)) {
-				return verr(pc, "map index %d out of range (have %d maps)", in.Imm, len(p.Maps))
-			}
-		case OpCall:
-			if _, ok := HelperByID(in.Imm); !ok {
-				return verr(pc, "unknown helper %d", in.Imm)
-			}
-		}
-		// Fall-through off the end of the program.
-		if pc == n-1 && in.Op != OpExit && in.Op != OpJa {
-			return verr(pc, "control flow falls off the end of the program")
-		}
-		if isCondJump(in.Op) && pc == n-1 {
-			return verr(pc, "conditional jump cannot be the last instruction")
-		}
-	}
-
-	// Reachability from instruction 0.
-	reach := make([]bool, n)
-	stack := []int{0}
-	for len(stack) > 0 {
-		pc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if reach[pc] {
-			continue
-		}
-		reach[pc] = true
-		in := p.Insns[pc]
-		switch {
-		case in.Op == OpExit:
-		case in.Op == OpJa:
-			stack = append(stack, pc+1+int(in.Off))
-		case isCondJump(in.Op):
-			stack = append(stack, pc+1, pc+1+int(in.Off))
-		default:
-			stack = append(stack, pc+1)
-		}
-	}
-	for pc := range reach {
-		if !reach[pc] {
-			return verr(pc, "unreachable instruction")
-		}
-	}
-
-	// Abstract interpretation to a fixpoint.
-	states := make([]absState, n)
-	states[0] = entryState()
-	work := []int{0}
-	steps := 0
-	for len(work) > 0 {
-		steps++
-		if steps > n*64 {
-			return fmt.Errorf("%w: abstract interpretation did not converge", ErrVerification)
-		}
-		pc := work[len(work)-1]
-		work = work[:len(work)-1]
-		outs, err := step(p, pc, states[pc])
-		if err != nil {
-			return err
-		}
-		for _, o := range outs {
-			if states[o.pc].join(&o.state) {
-				work = append(work, o.pc)
-			}
-		}
-	}
-	return nil
-}
-
 type succ struct {
 	pc    int
 	state absState
@@ -230,21 +179,59 @@ func requireInit(pc int, s *absState, r Reg, what string) error {
 	return nil
 }
 
-func checkStackAccess(pc int, s *absState, base regState, off int32, size int, write bool) error {
-	a := base.off + int64(off)
-	if a < -StackSize || a+int64(size) > 0 {
-		return verr(pc, "stack access at offset %d size %d out of bounds", a, size)
+// addOff adds delta bounds [dlo, dhi] to offset bounds [lo, hi] exactly.
+// Any int64 overflow poisons the bounds to the full range: a poisoned
+// pointer fails every access-window check, and the full range is
+// absorbing under further addOff calls (one endpoint stays extreme), so
+// exactness — and with it agreement with the VM's wrapping arithmetic —
+// is only ever given up on pointers that can never be dereferenced.
+func addOff(lo, hi, dlo, dhi int64) (int64, int64) {
+	nlo := lo + dlo
+	nhi := hi + dhi
+	if (dlo > 0 && nlo < lo) || (dlo < 0 && nlo > lo) ||
+		(dhi > 0 && nhi < hi) || (dhi < 0 && nhi > hi) {
+		return math.MinInt64, math.MaxInt64
 	}
-	idx := int(a + StackSize)
+	return nlo, nhi
+}
+
+// signedBounds reinterprets an unsigned VReg as signed bounds. ok is
+// false when the range straddles the signed boundary (the value's sign is
+// unknown), in which case no signed bounds exist.
+func signedBounds(v VReg) (lo, hi int64, ok bool) {
+	const sign = uint64(1) << 63
+	if v.Hi < sign || v.Lo >= sign {
+		return int64(v.Lo), int64(v.Hi), true
+	}
+	return 0, 0, false
+}
+
+// checkStackRange validates an access of size bytes through base (a stack
+// pointer with offset range [lo,hi]) plus the static offset off. Reads
+// require every possibly-touched byte initialized; writes mark bytes
+// initialized only when the address is exact (a weak update would be
+// unsound to treat as initializing).
+func checkStackRange(pc int, s *absState, base regState, off int32, size int, write bool) error {
+	if base.lo < -offWindow || base.hi > offWindow {
+		return verr(pc, "stack access at offset %d size %d out of bounds", base.lo, size)
+	}
+	lo := base.lo + int64(off)
+	hi := base.hi + int64(off)
+	if lo < -StackSize || hi+int64(size) > 0 {
+		return verr(pc, "stack access at offset %d size %d out of bounds", lo, size)
+	}
 	if write {
-		for i := 0; i < size; i++ {
-			s.stackInit[idx+i] = true
+		if base.lo == base.hi {
+			idx := int(lo + StackSize)
+			for i := 0; i < size; i++ {
+				s.stackInit[idx+i] = true
+			}
 		}
 		return nil
 	}
-	for i := 0; i < size; i++ {
-		if !s.stackInit[idx+i] {
-			return verr(pc, "read of uninitialized stack byte at offset %d", a+int64(i))
+	for a := lo; a < hi+int64(size); a++ {
+		if !s.stackInit[a+StackSize] {
+			return verr(pc, "read of uninitialized stack byte at offset %d", a)
 		}
 	}
 	return nil
@@ -255,11 +242,73 @@ func checkMapValueAccess(p *Program, pc int, base regState, off int32, size int)
 		return verr(pc, "possibly-NULL map value dereference (missing null check)")
 	}
 	vs := int64(p.Maps[base.mapIdx].ValueSize())
-	a := base.off + int64(off)
-	if a < 0 || a+int64(size) > vs {
-		return verr(pc, "map value access at offset %d size %d outside value size %d", a, size, vs)
+	if base.lo < -offWindow || base.hi > offWindow {
+		return verr(pc, "map value access at offset %d size %d outside value size %d", base.lo, size, vs)
+	}
+	lo := base.lo + int64(off)
+	hi := base.hi + int64(off)
+	if lo < 0 || hi+int64(size) > vs {
+		return verr(pc, "map value access at offset %d size %d outside value size %d", lo, size, vs)
 	}
 	return nil
+}
+
+// condStates computes the refined taken/fall-through states of a
+// conditional jump and whether each edge is feasible. Callers have
+// already checked register initialization.
+func condStates(s absState, insn Insn) (taken, fall absState, feasT, feasF bool, err error) {
+	d := s.regs[insn.Dst]
+	// Null-check refinement for map-lookup results.
+	if d.kind == rkPtrMapValueOrNull && !isRegSrc(insn.Op) && insn.Imm == 0 {
+		taken, fall = s, s
+		switch insn.Op {
+		case OpJeqImm: // taken => ptr == 0 => NULL; fallthrough => non-null
+			taken.regs[insn.Dst] = constReg(0)
+			fall.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, lo: d.lo, hi: d.hi}
+		case OpJneImm: // taken => non-null
+			taken.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, lo: d.lo, hi: d.hi}
+			fall.regs[insn.Dst] = constReg(0)
+		default:
+			return s, s, false, false, verr(-1, "map value pointer compared with non-equality op before null check")
+		}
+		return taken, fall, true, true, nil
+	}
+	if d.kind != rkScalar {
+		return s, s, false, false, verr(-1, "conditional jump on %s", d.kind)
+	}
+	var b VReg
+	if isRegSrc(insn.Op) {
+		if s.regs[insn.Src].kind != rkScalar {
+			return s, s, false, false, verr(-1, "register compare on non-scalars")
+		}
+		b = s.regs[insn.Src].vr
+	} else {
+		b = vrConst(uint64(insn.Imm))
+	}
+	rel := relFor(insn.Op)
+	ta, tb, okT := vrRefine(rel, d.vr, b)
+	fa, fb, okF := vrRefine(negRel(rel), d.vr, b)
+	if !okT && !okF {
+		// The relation and its negation partition concrete pairs, so both
+		// edges cannot be infeasible; degrade to no pruning if refinement
+		// ever claims otherwise.
+		okT, okF = true, true
+		ta, tb, fa, fb = d.vr, b, d.vr, b
+	}
+	taken, fall = s, s
+	if okT {
+		taken.regs[insn.Dst].vr = ta
+		if isRegSrc(insn.Op) {
+			taken.regs[insn.Src].vr = tb
+		}
+	}
+	if okF {
+		fall.regs[insn.Dst].vr = fa
+		if isRegSrc(insn.Op) {
+			fall.regs[insn.Src].vr = fb
+		}
+	}
+	return taken, fall, okT, okF, nil
 }
 
 func step(p *Program, pc int, in absState) ([]succ, error) {
@@ -278,7 +327,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		if insn.Dst == R10 {
 			return nil, verr(pc, "write to frame pointer r10")
 		}
-		s.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: insn.Imm}
+		s.regs[insn.Dst] = constReg(insn.Imm)
 		return next(), nil
 
 	case insn.Op == OpMovReg:
@@ -289,23 +338,6 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 			return nil, err
 		}
 		s.regs[insn.Dst] = s.regs[insn.Src]
-		return next(), nil
-
-	case insn.Op == OpNeg:
-		if insn.Dst == R10 {
-			return nil, verr(pc, "write to frame pointer r10")
-		}
-		if err := requireInit(pc, &s, insn.Dst, "neg"); err != nil {
-			return nil, err
-		}
-		if s.regs[insn.Dst].kind != rkScalar {
-			return nil, verr(pc, "neg on %s", s.regs[insn.Dst].kind)
-		}
-		r := s.regs[insn.Dst]
-		if r.known {
-			r.val = -r.val
-		}
-		s.regs[insn.Dst] = r
 		return next(), nil
 
 	case isALU(insn.Op):
@@ -322,21 +354,31 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 			}
 			src = s.regs[insn.Src]
 		} else {
-			src = regState{kind: rkScalar, known: true, val: insn.Imm}
+			src = constReg(insn.Imm)
 		}
 		dst := s.regs[insn.Dst]
-		// Pointer arithmetic: only ptr +/- known scalar.
+		// Pointer arithmetic: ptr +/- scalar with known signed bounds.
 		if dst.kind == rkPtrStack || dst.kind == rkPtrMapValue {
 			switch insn.Op {
 			case OpAddImm, OpAddReg, OpSubImm, OpSubReg:
-				if src.kind != rkScalar || !src.known {
+				if src.kind != rkScalar {
 					return nil, verr(pc, "pointer arithmetic with unknown scalar")
 				}
-				d := src.val
-				if insn.Op == OpSubImm || insn.Op == OpSubReg {
-					d = -d
+				dlo, dhi, ok := signedBounds(src.vr)
+				if !ok {
+					return nil, verr(pc, "pointer arithmetic with unknown scalar")
 				}
-				dst.off += d
+				if insn.Op == OpSubImm || insn.Op == OpSubReg {
+					if dlo == math.MinInt64 {
+						// The VM's wrapping negation maps MinInt64 to
+						// itself, so the negated delta set is not an
+						// interval; take the full hull (poisons the bounds).
+						dlo, dhi = math.MinInt64, math.MaxInt64
+					} else {
+						dlo, dhi = -dhi, -dlo
+					}
+				}
+				dst.lo, dst.hi = addOff(dst.lo, dst.hi, dlo, dhi)
 				s.regs[insn.Dst] = dst
 				return next(), nil
 			default:
@@ -349,15 +391,10 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		if src.kind != rkScalar {
 			return nil, verr(pc, "alu with %s source", src.kind)
 		}
-		if (insn.Op == OpDivReg || insn.Op == OpModReg) && src.known && src.val == 0 {
+		if (insn.Op == OpDivReg || insn.Op == OpModReg) && src.vr.IsConst() && src.vr.Const() == 0 {
 			return nil, verr(pc, "division by known-zero register")
 		}
-		out := regState{kind: rkScalar}
-		if dst.known && src.known {
-			out.known = true
-			out.val = evalALU(insn.Op, dst.val, src.val)
-		}
-		s.regs[insn.Dst] = out
+		s.regs[insn.Dst] = scalarReg(vrTransfer(insn.Op, dst.vr, src.vr))
 		return next(), nil
 
 	case insn.Op == OpLoadMapPtr:
@@ -374,7 +411,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		base := s.regs[insn.Src]
 		switch base.kind {
 		case rkPtrStack:
-			if err := checkStackAccess(pc, &s, base, insn.Off, 8, false); err != nil {
+			if err := checkStackRange(pc, &s, base, insn.Off, 8, false); err != nil {
 				return nil, err
 			}
 		case rkPtrMapValue, rkPtrMapValueOrNull:
@@ -384,7 +421,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		default:
 			return nil, verr(pc, "load through %s", base.kind)
 		}
-		s.regs[insn.Dst] = regState{kind: rkScalar}
+		s.regs[insn.Dst] = unknownScalarReg()
 		return next(), nil
 
 	case insn.Op == OpStore, insn.Op == OpStoreImm:
@@ -399,7 +436,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		}
 		switch base.kind {
 		case rkPtrStack:
-			if err := checkStackAccess(pc, &s, base, insn.Off, 8, true); err != nil {
+			if err := checkStackRange(pc, &s, base, insn.Off, 8, true); err != nil {
 				return nil, err
 			}
 		case rkPtrMapValue, rkPtrMapValueOrNull:
@@ -422,29 +459,22 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 			if err := requireInit(pc, &s, insn.Src, "jump"); err != nil {
 				return nil, err
 			}
-			if s.regs[insn.Src].kind != rkScalar || s.regs[insn.Dst].kind != rkScalar {
-				return nil, verr(pc, "register compare on non-scalars")
-			}
 		}
-		taken := s
-		fall := s
-		d := s.regs[insn.Dst]
-		// Null-check refinement for map-lookup results.
-		if d.kind == rkPtrMapValueOrNull && !isRegSrc(insn.Op) && insn.Imm == 0 {
-			switch insn.Op {
-			case OpJeqImm: // taken => ptr == 0 => NULL; fallthrough => non-null
-				taken.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: 0}
-				fall.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, off: d.off}
-			case OpJneImm: // taken => non-null
-				taken.regs[insn.Dst] = regState{kind: rkPtrMapValue, mapIdx: d.mapIdx, off: d.off}
-				fall.regs[insn.Dst] = regState{kind: rkScalar, known: true, val: 0}
-			default:
-				return nil, verr(pc, "map value pointer compared with non-equality op before null check")
+		taken, fall, feasT, feasF, err := condStates(s, insn)
+		if err != nil {
+			if ve := new(VerifyError); errors.As(err, &ve) {
+				ve.PC = pc
 			}
-		} else if d.kind != rkScalar {
-			return nil, verr(pc, "conditional jump on %s", d.kind)
+			return nil, err
 		}
-		return []succ{{pc + 1 + int(insn.Off), taken}, {pc + 1, fall}}, nil
+		var outs []succ
+		if feasT {
+			outs = append(outs, succ{pc + 1 + int(insn.Off), taken})
+		}
+		if feasF {
+			outs = append(outs, succ{pc + 1, fall})
+		}
+		return outs, nil
 
 	case insn.Op == OpCall:
 		spec, _ := HelperByID(insn.Imm)
@@ -496,21 +526,17 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 				if a.kind != rkPtrStack {
 					return nil, verr(pc, "%s arg %d must be a stack pointer, got %s", spec.Name, i+1, a.kind)
 				}
-				// Map update/push read the buffer; pop writes it. Treat
-				// all as requiring bounds; reads additionally require
-				// initialized bytes, and helpers may write, so mark
-				// initialized afterwards.
+				// Map update/push read the buffer; pop writes it. Reads
+				// require initialized bytes; the pop write marks bytes
+				// initialized (only when the pointer is exact).
 				write := insn.Imm == HelperStackPop
-				if err := checkStackAccess(pc, &s, a, 0, size, write); err != nil {
+				if err := checkStackRange(pc, &s, a, 0, size, write); err != nil {
 					return nil, err
 				}
 				if !write {
-					if err := checkStackAccess(pc, &s, a, 0, size, false); err != nil {
+					if err := checkStackRange(pc, &s, a, 0, size, false); err != nil {
 						return nil, err
 					}
-				} else {
-					// already marked initialized by the write check
-					_ = write
 				}
 			case ArgPtrSized:
 				if a.kind != rkPtrStack {
@@ -519,13 +545,13 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 				sizedPtr = a
 				sizedPtrSeen = true
 			case ArgSizeConst:
-				if a.kind != rkScalar || !a.known || a.val <= 0 {
+				if a.kind != rkScalar || !a.vr.IsConst() || int64(a.vr.Const()) <= 0 {
 					return nil, verr(pc, "%s arg %d must be a known positive constant size", spec.Name, i+1)
 				}
 				if !sizedPtrSeen {
 					return nil, verr(pc, "%s arg %d: size without preceding pointer", spec.Name, i+1)
 				}
-				if err := checkStackAccess(pc, &s, sizedPtr, 0, int(a.val), false); err != nil {
+				if err := checkStackRange(pc, &s, sizedPtr, 0, int(a.vr.Const()), false); err != nil {
 					return nil, err
 				}
 			}
@@ -541,41 +567,9 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 			}
 			s.regs[R0] = regState{kind: rkPtrMapValueOrNull, mapIdx: constMap}
 		default:
-			s.regs[R0] = regState{kind: rkScalar}
+			s.regs[R0] = unknownScalarReg()
 		}
 		return next(), nil
 	}
 	return nil, verr(pc, "unhandled opcode %v", insn.Op)
-}
-
-func evalALU(op Op, a, b int64) int64 {
-	switch op {
-	case OpAddImm, OpAddReg:
-		return a + b
-	case OpSubImm, OpSubReg:
-		return a - b
-	case OpMulImm, OpMulReg:
-		return a * b
-	case OpDivImm, OpDivReg:
-		if b == 0 {
-			return 0
-		}
-		return int64(uint64(a) / uint64(b))
-	case OpModImm, OpModReg:
-		if b == 0 {
-			return 0
-		}
-		return int64(uint64(a) % uint64(b))
-	case OpAndImm, OpAndReg:
-		return a & b
-	case OpOrImm, OpOrReg:
-		return a | b
-	case OpXorImm, OpXorReg:
-		return a ^ b
-	case OpLshImm, OpLshReg:
-		return int64(uint64(a) << (uint64(b) & 63))
-	case OpRshImm, OpRshReg:
-		return int64(uint64(a) >> (uint64(b) & 63))
-	}
-	return 0
 }

@@ -169,15 +169,85 @@ func TestVerifyInitializedStackReadOK(t *testing.T) {
 }
 
 func TestVerifyStackInitJoin(t *testing.T) {
-	// Only one branch initializes [-8]; the join must mark it uninit.
+	// Only one branch initializes [-8]; the join must mark it uninit. The
+	// condition must be genuinely unknown (ktime), because a constant
+	// condition is now resolved by branch-feasibility pruning.
 	p := NewBuilder("join").
+		Call(HelperKtime).
+		Jeq(R0, 0, "skip").
+		StoreImm(R10, -8, 5).
+		Label("skip").
+		Load(R0, R10, -8).
+		Exit().MustBuild()
+	mustReject(t, p, "uninitialized stack")
+}
+
+func TestVerifyInfeasibleBranchPruned(t *testing.T) {
+	// R6 is the constant 1, so `jeq r6, 0` is provably never taken: the
+	// path that skips the store is infeasible and the read of [-8] is
+	// safe. The kind-only verifier rejected this; the value-range
+	// verifier must accept it.
+	p := NewBuilder("prune").
 		Mov(R6, 1).
 		Jeq(R6, 0, "skip").
 		StoreImm(R10, -8, 5).
 		Label("skip").
 		Load(R0, R10, -8).
 		Exit().MustBuild()
-	mustReject(t, p, "uninitialized stack")
+	mustVerify(t, p)
+}
+
+func TestVerifyRegisterOffsetStackAccess(t *testing.T) {
+	// An unknown scalar masked to [0, 56] and aligned to 8 indexes an
+	// 8-slot stack array: every offset in [-64, -8] is in bounds and
+	// initialized, so the range-tracking verifier must accept it.
+	b := NewBuilder("regoff")
+	for off := int32(-64); off < 0; off += 8 {
+		b.StoreImm(R10, off, 7)
+	}
+	p := b.
+		Call(HelperKtime).
+		And(R0, 56). // r0 in {0, 8, ..., 56}
+		MovReg(R1, R10).
+		Sub(R1, 64).
+		AddReg(R1, R0).
+		Load(R0, R1, 0).
+		Exit().MustBuild()
+	mustVerify(t, p)
+
+	// Without the mask the offset is unbounded and must still be rejected.
+	p2 := NewBuilder("regoff-bad").
+		StoreImm(R10, -8, 7).
+		Call(HelperKtime).
+		MovReg(R1, R10).
+		AddReg(R1, R0).
+		Load(R0, R1, 0).
+		Exit().MustBuild()
+	mustReject(t, p2, "unknown scalar")
+}
+
+func TestVerifyRegisterOffsetMapValueAccess(t *testing.T) {
+	// A bounds-checked scalar indexes into a 32-byte map value. The
+	// conditional edge refinement must prove r6*8 stays inside the value.
+	m := NewHashMap("m", 8, 32, 4)
+	b := NewBuilder("mapoff")
+	idx := b.AddMap(m)
+	p := b.StoreImm(R10, -8, 1).
+		LoadMapPtr(R1, idx).
+		MovReg(R2, R10).Sub(R2, 8).
+		Call(HelperMapLookup).
+		Jeq(R0, 0, "miss").
+		MovReg(R6, R0).
+		Call(HelperKtime).
+		Jgt(R0, 3, "miss"). // r0 <= 3 on fallthrough
+		Lsh(R0, 3).         // r0 in {0, 8, 16, 24}
+		AddReg(R6, R0).
+		Load(R0, R6, 0). // offsets [0,24] + 8 <= 32: in bounds
+		Exit().
+		Label("miss").
+		Mov(R0, 0).
+		Exit().MustBuild()
+	mustVerify(t, p)
 }
 
 func TestVerifyLoadThroughScalar(t *testing.T) {

@@ -48,10 +48,61 @@ func ptrAddr(v uint64) uint32 { return uint32(v) }
 type LoadedProgram struct {
 	prog *Program
 
+	// ptrALU[pc] is true when the verifier proved the ALU instruction at
+	// pc operates on a pointer destination. The interpreter dispatches on
+	// this static fact rather than on the value's runtime tag bits: a
+	// scalar whose bits happen to fall in the pointer-tagged range must
+	// still take the evalALU path, or scalar semantics would silently
+	// change at 1<<63. The verifier guarantees the kind of a register at
+	// a given pc is the same on every feasible path (kind mismatches join
+	// to uninit, which any use rejects), so the flag is well-defined.
+	ptrALU []bool
+
 	runs atomic.Int64
 
 	printkMu sync.Mutex
 	printk   []uint64
+
+	// Optional side-effect trace, used by the differential fuzzers to
+	// compare original and optimized programs: every successful call to a
+	// non-Pure helper is recorded with its consumed arguments and return
+	// value. Pure helper calls are omitted deliberately — the optimizer is
+	// allowed to delete them when their result is dead.
+	traceOn atomic.Bool
+	traceMu sync.Mutex
+	trace   []HelperCall
+}
+
+// HelperCall is one recorded side-effecting helper invocation.
+type HelperCall struct {
+	ID   int64
+	Args []uint64
+	Ret  uint64
+}
+
+// SetCallTrace enables or disables recording of impure helper calls.
+func (lp *LoadedProgram) SetCallTrace(on bool) { lp.traceOn.Store(on) }
+
+// CallTrace returns a copy of the recorded impure helper calls.
+func (lp *LoadedProgram) CallTrace() []HelperCall {
+	lp.traceMu.Lock()
+	defer lp.traceMu.Unlock()
+	out := make([]HelperCall, len(lp.trace))
+	for i, c := range lp.trace {
+		out[i] = HelperCall{ID: c.ID, Args: append([]uint64(nil), c.Args...), Ret: c.Ret}
+	}
+	return out
+}
+
+func (lp *LoadedProgram) recordCall(ec *execState, id int64) {
+	spec, ok := HelperByID(id)
+	if !ok || spec.Pure {
+		return
+	}
+	args := append([]uint64(nil), ec.regs[R1:R1+Reg(len(spec.Args))]...)
+	lp.traceMu.Lock()
+	lp.trace = append(lp.trace, HelperCall{ID: id, Args: args, Ret: ec.regs[R0]})
+	lp.traceMu.Unlock()
 }
 
 // Runs returns the number of times the program has been invoked.
@@ -69,10 +120,19 @@ func (lp *LoadedProgram) Printk() []uint64 {
 // bytecode; the simulator interprets instead and charges per-instruction
 // virtual time.
 func Load(p *Program, maxInsns int) (*LoadedProgram, error) {
-	if err := Verify(p, maxInsns); err != nil {
+	a, err := Analyze(p, maxInsns)
+	if err != nil {
 		return nil, err
 	}
-	return &LoadedProgram{prog: p}, nil
+	ptrALU := make([]bool, len(p.Insns))
+	for pc, in := range p.Insns {
+		if !isALU(in.Op) || in.Op == OpMovImm || in.Op == OpMovReg || !a.Reached(pc) {
+			continue
+		}
+		k := a.states[pc].regs[in.Dst].kind
+		ptrALU[pc] = k == rkPtrStack || k == rkPtrMapValue
+	}
+	return &LoadedProgram{prog: p, ptrALU: ptrALU}, nil
 }
 
 // Program returns the underlying program.
@@ -152,9 +212,6 @@ func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, e
 		case in.Op == OpMovReg:
 			ec.regs[in.Dst] = ec.regs[in.Src]
 			pc++
-		case in.Op == OpNeg:
-			ec.regs[in.Dst] = uint64(-int64(ec.regs[in.Dst]))
-			pc++
 		case isALU(in.Op):
 			var src uint64
 			if isRegSrc(in.Op) {
@@ -163,7 +220,7 @@ func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, e
 				src = uint64(in.Imm)
 			}
 			dst := ec.regs[in.Dst]
-			if isPtr(dst) {
+			if lp.ptrALU[pc] {
 				// Pointer arithmetic (verified to be add/sub const).
 				delta := int64(src)
 				if in.Op == OpSubImm || in.Op == OpSubReg {
@@ -218,6 +275,9 @@ func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, e
 			helperNS += ns
 			if err != nil {
 				return 0, cost(executed, helperNS, profile.BPFInsnNS), err
+			}
+			if lp.traceOn.Load() {
+				lp.recordCall(ec, in.Imm)
 			}
 			pc++
 		default:

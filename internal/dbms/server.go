@@ -87,6 +87,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Mode: cfg.Mode, Seed: cfg.Seed, RingCapacity: cfg.RingCapacity,
 			DisableProcessorFeedback: cfg.DisableFeedback,
 			ProcessorParallelism:     cfg.ProcessorParallelism,
+			OptimizeCollectors:       true,
 		})
 	}
 	eng, err := exec.New(srv.Catalog, ts)

@@ -1,6 +1,7 @@
 package tscout
 
 import (
+	"errors"
 	"fmt"
 
 	"tscout/internal/bpf"
@@ -25,10 +26,55 @@ type Collector struct {
 	End      *bpf.LoadedProgram
 	Features *bpf.LoadedProgram
 
+	// OptStats records what the optional bpf.Optimize pass removed from
+	// each program before loading (zero when optimization is disabled).
+	OptStats CollectorOptStats
+
 	Ring    *bpf.PerfRingBuffer
 	entries *bpf.HashMap
 	depth   *bpf.PerTaskMap
 	errors  *bpf.ArrayMap
+}
+
+// CodegenOptions tunes GenerateCollectorOpts.
+type CodegenOptions struct {
+	// Optimize runs the liveness-driven optimizer (bpf.Optimize) on each
+	// generated program before it is loaded, shrinking the marker hot
+	// path. The optimizer re-verifies its output, so an enabled pass can
+	// never load a program the verifier would reject.
+	Optimize bool
+}
+
+// CollectorOptStats aggregates the optimizer's per-program savings for one
+// Collector; surfaced through ProcessorStats and `tsctl stats`.
+type CollectorOptStats struct {
+	Enabled  bool
+	Begin    bpf.OptStats
+	End      bpf.OptStats
+	Features bpf.OptStats
+}
+
+// Saved returns the total instructions removed across the three programs.
+func (s CollectorOptStats) Saved() int {
+	return s.Begin.Saved() + s.End.Saved() + s.Features.Saved()
+}
+
+// NamedProgram pairs a generated (unloaded) program with its marker name;
+// `tsctl vet` verifies and lints these without deploying anything.
+type NamedProgram struct {
+	Name string
+	Prog *bpf.Program
+}
+
+// CollectorPrograms runs code generation for one subsystem × resource set
+// and returns the three marker programs without verifying or loading them.
+func CollectorPrograms(sub SubsystemID, res ResourceSet) []NamedProgram {
+	c := collectorSkeleton(sub, res, 8)
+	return []NamedProgram{
+		{"begin", c.genBegin()},
+		{"end", c.genEnd()},
+		{"features", c.genFeatures()},
+	}
 }
 
 // Collector entry layout (12 u64 words): the OU invocation record pushed
@@ -70,7 +116,13 @@ var counterOrder = []kernel.Counter{
 // for unchecked resources are simply not compiled in, Fig. 3) and loads
 // them through the BPF verifier.
 func GenerateCollector(sub SubsystemID, res ResourceSet, ringCapacity int) (*Collector, error) {
-	c := &Collector{
+	return GenerateCollectorOpts(sub, res, ringCapacity, CodegenOptions{})
+}
+
+// collectorSkeleton builds a Collector's map set without generating or
+// loading any programs.
+func collectorSkeleton(sub SubsystemID, res ResourceSet, ringCapacity int) *Collector {
+	return &Collector{
 		Subsystem: sub,
 		Resources: res,
 		Ring:      bpf.NewPerfRingBuffer("tscout/"+sub.String()+"/ring", ringCapacity),
@@ -78,15 +130,49 @@ func GenerateCollector(sub SubsystemID, res ResourceSet, ringCapacity int) (*Col
 		depth:     bpf.NewPerTaskMap("tscout/"+sub.String()+"/depth", 8),
 		errors:    bpf.NewArrayMap("tscout/"+sub.String()+"/errors", 8, 1),
 	}
+}
+
+// describeVerifyError rewraps a verification failure with the failing
+// instruction so operators see the pc and opcode without disassembling by
+// hand; tsctl's error paths print this directly.
+func describeVerifyError(name string, p *bpf.Program, err error) error {
+	var ve *bpf.VerifyError
+	if errors.As(err, &ve) && ve.PC >= 0 && ve.PC < len(p.Insns) {
+		return fmt.Errorf("%s: failing insn %d: %s: %w", name, ve.PC, p.Insns[ve.PC].String(), err)
+	}
+	return fmt.Errorf("%s: %w", name, err)
+}
+
+// GenerateCollectorOpts is GenerateCollector with codegen options: an
+// optional optimization pass runs on each program before loading, and its
+// per-program savings are recorded on the Collector.
+func GenerateCollectorOpts(sub SubsystemID, res ResourceSet, ringCapacity int, opts CodegenOptions) (*Collector, error) {
+	c := collectorSkeleton(sub, res, ringCapacity)
+	c.OptStats.Enabled = opts.Optimize
+	load := func(name string, p *bpf.Program, st *bpf.OptStats) (*bpf.LoadedProgram, error) {
+		if opts.Optimize {
+			op, stats, err := bpf.Optimize(p, 0)
+			if err != nil {
+				return nil, describeVerifyError(name+" program (optimize)", p, err)
+			}
+			*st = stats
+			p = op
+		}
+		lp, err := bpf.Load(p, 0)
+		if err != nil {
+			return nil, describeVerifyError(name+" program", p, err)
+		}
+		return lp, nil
+	}
 	var err error
-	if c.Begin, err = bpf.Load(c.genBegin(), 0); err != nil {
-		return nil, fmt.Errorf("BEGIN program: %w", err)
+	if c.Begin, err = load("BEGIN", c.genBegin(), &c.OptStats.Begin); err != nil {
+		return nil, err
 	}
-	if c.End, err = bpf.Load(c.genEnd(), 0); err != nil {
-		return nil, fmt.Errorf("END program: %w", err)
+	if c.End, err = load("END", c.genEnd(), &c.OptStats.End); err != nil {
+		return nil, err
 	}
-	if c.Features, err = bpf.Load(c.genFeatures(), 0); err != nil {
-		return nil, fmt.Errorf("FEATURES program: %w", err)
+	if c.Features, err = load("FEATURES", c.genFeatures(), &c.OptStats.Features); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -159,15 +245,17 @@ func emitNormCounter(b *bpf.Builder, ctr kernel.Counter, dstOff int32) {
 }
 
 // emitProbeSnapshot fills entry words [entCounter..entSockS] at base with
-// the current probe readings (or zeros for unmonitored resources).
+// the current probe readings. The whole probe area is zero-filled first and
+// enabled probes overwrite their words: unmonitored resources read as zero
+// with no per-resource branching, and the optimizer's dead-store pass
+// deletes every zero store that an enabled probe shadows.
 func (c *Collector) emitProbeSnapshot(b *bpf.Builder, base int32) {
+	for w := entCounter; w <= entSockS; w++ {
+		b.StoreImm(bpf.R10, base+int32(w)*8, 0)
+	}
 	if c.Resources.CPU {
 		for i, ctr := range counterOrder {
 			emitNormCounter(b, ctr, base+int32(entCounter+i)*8)
-		}
-	} else {
-		for i := 0; i < 5; i++ {
-			b.StoreImm(bpf.R10, base+int32(entCounter+i)*8, 0)
 		}
 	}
 	if c.Resources.Disk {
@@ -175,18 +263,12 @@ func (c *Collector) emitProbeSnapshot(b *bpf.Builder, base int32) {
 			Store(bpf.R10, base+entIOACR*8, bpf.R0).
 			Mov(bpf.R1, bpf.IOACWriteBytes).Call(bpf.HelperReadIOAC).
 			Store(bpf.R10, base+entIOACW*8, bpf.R0)
-	} else {
-		b.StoreImm(bpf.R10, base+entIOACR*8, 0).
-			StoreImm(bpf.R10, base+entIOACW*8, 0)
 	}
 	if c.Resources.Network {
 		b.Mov(bpf.R1, bpf.SockBytesReceived).Call(bpf.HelperReadSock).
 			Store(bpf.R10, base+entSockR*8, bpf.R0).
 			Mov(bpf.R1, bpf.SockBytesSent).Call(bpf.HelperReadSock).
 			Store(bpf.R10, base+entSockS*8, bpf.R0)
-	} else {
-		b.StoreImm(bpf.R10, base+entSockR*8, 0).
-			StoreImm(bpf.R10, base+entSockS*8, 0)
 	}
 }
 
@@ -322,6 +404,14 @@ func (c *Collector) genFeatures() *bpf.Program {
 	c.prologue(b, depthIdx, "err_early")
 	b.Jeq(bpf.R8, 0, "err_reset")
 
+	// Zero the sample's fixed words up front; the header and metric stores
+	// below overwrite the live ones (the optimizer deletes the shadowed
+	// zeros), and anything left — the flags word, metrics of unmonitored
+	// resources — reads as zero by construction.
+	for w := 0; w < sampleFixedWords; w++ {
+		b.StoreImm(bpf.R10, offSample+int32(w)*8, 0)
+	}
+
 	// Sample word 1: pid (stored before R6 is repurposed).
 	b.Store(bpf.R10, offSample+8, bpf.R6)
 
@@ -338,8 +428,7 @@ func (c *Collector) genFeatures() *bpf.Program {
 		JeqReg(bpf.R9, bpf.R2, "ou_ok").
 		Jne(bpf.R9, int64(FusedOUID), "err_reset").
 		Label("ou_ok").
-		Store(bpf.R10, offSample+0, bpf.R9). // sample word 0: OU id
-		StoreImm(bpf.R10, offSample+16, 0)   // word 2: flags
+		Store(bpf.R10, offSample+0, bpf.R9) // sample word 0: OU id
 
 	// Word 3: nFeatures (bounded for the unrolled copy below).
 	b.Mov(bpf.R1, 2).Call(bpf.HelperGetArg).

@@ -684,6 +684,7 @@ func (p *Processor) Stats() ProcessorStats {
 			rs := col.Ring.Stats()
 			st.Kernel[sub].Submitted = rs.Submitted
 			st.Kernel[sub].Dropped = rs.Dropped
+			st.Codegen[sub] = col.OptStats
 		}
 	}
 	p.mu.Lock()

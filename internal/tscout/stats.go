@@ -68,6 +68,21 @@ type ProcessorStats struct {
 	// user-probe queue shard.
 	Kernel [NumSubsystems]SubsystemStats
 	User   SubsystemStats
+
+	// Codegen holds the per-subsystem Collector optimizer savings
+	// (Enabled=false everywhere when Config.OptimizeCollectors is off or
+	// in user modes).
+	Codegen [NumSubsystems]CollectorOptStats
+}
+
+// TotalInsnsSaved sums optimizer savings across every subsystem's three
+// Collector programs.
+func (s *ProcessorStats) TotalInsnsSaved() int {
+	n := 0
+	for i := range s.Codegen {
+		n += s.Codegen[i].Saved()
+	}
+	return n
 }
 
 // TotalSubmitted sums submissions across every shard.

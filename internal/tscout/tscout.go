@@ -137,6 +137,10 @@ type Config struct {
 	// global per-period sample budget scales with it; subsystem shards
 	// are distributed round-robin over the threads.
 	ProcessorParallelism int
+	// OptimizeCollectors runs the liveness-driven optimizer on every
+	// generated Collector program at Deploy, shrinking the marker hot
+	// path; per-program savings appear in ProcessorStats.
+	OptimizeCollectors bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -302,7 +306,8 @@ func (ts *TScout) Deploy() error {
 			if sub == nil {
 				continue
 			}
-			col, err := GenerateCollector(sub.id, sub.resources, ts.cfg.RingCapacity)
+			col, err := GenerateCollectorOpts(sub.id, sub.resources, ts.cfg.RingCapacity,
+				CodegenOptions{Optimize: ts.cfg.OptimizeCollectors})
 			if err != nil {
 				return fmt.Errorf("tscout: codegen for %s: %w", sub.id, err)
 			}

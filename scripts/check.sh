@@ -6,6 +6,7 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go run ./internal/analysis/bpfcheck .
 go test -race -timeout 45m ./...
 
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
@@ -14,6 +15,7 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	fuzztime="${FUZZTIME:-10s}"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzVerify$' -fuzztime "$fuzztime"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzVerifyThenRun$' -fuzztime "$fuzztime"
+	go test ./internal/bpf -run '^$' -fuzz '^FuzzOptimize$' -fuzztime "$fuzztime"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzRingbuf$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
 fi
