@@ -367,6 +367,11 @@ const (
 	relGE
 	relSET  // a & b != 0
 	relNSET // a & b == 0
+	// relNone is the "no known relation" sentinel for jump opcodes this
+	// file does not model: vrRefine narrows nothing and both edges stay
+	// feasible, so an op added without updating relFor degrades to
+	// no-refinement instead of silently pruning with wrong semantics.
+	relNone
 )
 
 // relFor maps a conditional jump opcode to the relation that holds on the
@@ -388,7 +393,7 @@ func relFor(op Op) vrRel {
 	case OpJsetImm:
 		return relSET
 	}
-	return relNE
+	return relNone
 }
 
 func negRel(r vrRel) vrRel {
@@ -407,8 +412,10 @@ func negRel(r vrRel) vrRel {
 		return relLT
 	case relSET:
 		return relNSET
+	case relNSET:
+		return relSET
 	}
-	return relSET
+	return relNone
 }
 
 // vrRefine narrows a and b under the assumption "a rel b". feasible is
@@ -517,5 +524,7 @@ func vrRefine(rel vrRel, a, b VReg) (ra, rb VReg, feasible bool) {
 		}
 		return a, b, true
 	}
+	// relNone (or a future unmodeled relation): refine nothing, keep both
+	// edges feasible — always sound.
 	return a, b, true
 }

@@ -323,6 +323,22 @@ func TestNegRelMatchesComplement(t *testing.T) {
 	}
 }
 
+func TestRelNoneDegradesSoundly(t *testing.T) {
+	// An unmodeled jump opcode must disable refinement entirely rather
+	// than borrow another relation's semantics and prune feasible edges.
+	if rel := relFor(OpExit); rel != relNone {
+		t.Fatalf("relFor on a non-jump op = %d, want relNone", rel)
+	}
+	if neg := negRel(relNone); neg != relNone {
+		t.Fatalf("negRel(relNone) = %d, want relNone", neg)
+	}
+	a, b := vrRange(3, 9), vrConst(5)
+	ra, rb, feasible := vrRefine(relNone, a, b)
+	if !feasible || ra != a || rb != b {
+		t.Fatalf("vrRefine(relNone) must refine nothing and stay feasible, got %+v %+v %v", ra, rb, feasible)
+	}
+}
+
 func TestVRegConstAccessors(t *testing.T) {
 	c := vrConst(42)
 	if !c.IsConst() || c.Const() != 42 {

@@ -541,10 +541,14 @@ func (g *progGen) genStackMapOp() {
 		g.emitStackPtr(R2, w)
 		g.b.Call(HelperStackPush)
 	} else {
+		// Pop fills its buffer only on success, so it does not count as
+		// initializing the word (the verifier agrees). Pre-initialize it
+		// instead: later reads stay legal, and the store→pop→load shape
+		// this produces is exactly the optimizer's hardest aliasing case.
+		g.initRange(w, 1)
 		g.b.LoadMapPtr(R1, genMapStack)
 		g.emitStackPtr(R2, w)
 		g.b.Call(HelperStackPop)
-		g.st.stackInit[w] = true // pop target is in-bounds ⇒ marked written
 	}
 	g.helperClobber()
 	g.st.regs[R0] = genReg{kind: rkScalar}

@@ -180,12 +180,13 @@ func (a *Analysis) effects(pc int) insnEffects {
 				if size == 0 {
 					continue
 				}
-				if in.Imm == HelperStackPop && kind == ArgPtrValue {
-					// Pop writes the buffer.
-					if arg.lo == arg.hi {
-						markStackSpan(&e.killStack, arg.lo, arg.hi, size)
-					}
-				} else {
+				// stack_pop writes its destination only when the pop
+				// succeeds (vm.go leaves it untouched on failure), so a
+				// prior store stays observable on the failure path: a
+				// conditional write is a weak update that kills nothing,
+				// mirroring the imprecise-store case. It does not read
+				// the buffer either. Every other ptr arg is a read.
+				if in.Imm != HelperStackPop || kind != ArgPtrValue {
 					markStackSpan(&e.useStack, arg.lo, arg.hi, size)
 				}
 			case ArgPtrSized:

@@ -101,15 +101,35 @@ func FuzzOptimize(f *testing.F) {
 	f.Add(int64(42), uint8(30), []byte{})
 	f.Add(int64(99), uint8(36), []byte{2, 7, 255, 255})
 	f.Add(int64(141), uint8(39), []byte{})
+	// Regression: store→failing-pop→load. stack_pop writes its buffer only
+	// on success, so dead-store elimination must not treat the pop as a
+	// strong kill of an aliasing earlier store (its value is R0 on the
+	// failure path). Pinned via raw mode, which the generator+mutator path
+	// cannot express exactly.
+	f.Add(int64(-1), uint8(0), EncodeInsns(popFailureRegression().Insns))
 
 	f.Fuzz(func(t *testing.T, seed int64, steps uint8, mut []byte) {
-		p := GenProgram(seed, int(steps%40)+1)
-		if len(mut) > 0 {
-			mp := &Program{Name: "fuzz/opt-mut", Insns: MutateInsns(p.Insns, mut), Maps: NewGenMaps()}
-			if len(mp.Insns) == 0 || Verify(mp, fuzzMaxInsns) != nil {
-				return // reject side is FuzzVerifyThenRun's job
+		var p *Program
+		if seed < 0 {
+			// Raw mode: mut is a wire-encoded program (EncodeInsns),
+			// letting corpus entries pin exact regression programs.
+			insns := DecodeInsns(mut)
+			if len(insns) == 0 {
+				return
 			}
-			p = mp
+			p = &Program{Name: "fuzz/opt-raw", Insns: insns, Maps: NewGenMaps()}
+			if Verify(p, fuzzMaxInsns) != nil {
+				return // reject side is FuzzVerify's job
+			}
+		} else {
+			p = GenProgram(seed, int(steps%40)+1)
+			if len(mut) > 0 {
+				mp := &Program{Name: "fuzz/opt-mut", Insns: MutateInsns(p.Insns, mut), Maps: NewGenMaps()}
+				if len(mp.Insns) == 0 || Verify(mp, fuzzMaxInsns) != nil {
+					return // reject side is FuzzVerifyThenRun's job
+				}
+				p = mp
+			}
 		}
 
 		opt, stats, err := Optimize(p, fuzzMaxInsns)

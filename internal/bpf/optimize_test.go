@@ -110,6 +110,45 @@ func TestOptimizeDeadStore(t *testing.T) {
 	}
 }
 
+// popFailureRegression builds the store→failing-pop→load miscompile shape:
+// the pop destination aliases an earlier store whose value is the program
+// result whenever the pop fails (always here — the stack map starts empty).
+// Modeling stack_pop as a strong kill of the destination let dead-store
+// elimination delete the store, changing R0 on the failure path. Shared
+// with FuzzOptimize's raw-mode seed corpus.
+func popFailureRegression() *Program {
+	b := NewBuilder("opt/pop-fail")
+	for _, m := range NewGenMaps() {
+		b.AddMap(m)
+	}
+	return b.
+		StoreImm(R10, -8, 0x5a). // observable iff the pop fails
+		LoadMapPtr(R1, genMapStack).
+		MovReg(R2, R10).Sub(R2, 8).
+		Call(HelperStackPop).
+		Load(R0, R10, -8).
+		Exit().
+		MustBuild()
+}
+
+func TestOptimizeKeepsStoreAcrossFailingPop(t *testing.T) {
+	p := popFailureRegression()
+	opt, stats := optimizeAndRun(t, p) // also asserts R0 unchanged (0x5a)
+	if stats.RemovedStores != 0 {
+		t.Fatalf("store feeding the pop-failure path was eliminated: %+v\n%s",
+			stats, opt.Disassemble())
+	}
+	found := false
+	for _, in := range opt.Insns {
+		if in.Op == OpStoreImm {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("store missing from optimized program:\n%s", opt.Disassemble())
+	}
+}
+
 func TestOptimizeDeadPureCall(t *testing.T) {
 	p := NewBuilder("deadcall").
 		Call(HelperKtime). // result overwritten before any read

@@ -206,12 +206,25 @@ func signedBounds(v VReg) (lo, hi int64, ok bool) {
 	return 0, 0, false
 }
 
+// stackAccess selects checkStackRange's semantics for the access.
+type stackAccess uint8
+
+const (
+	// stackRead requires every possibly-touched byte initialized.
+	stackRead stackAccess = iota
+	// stackWrite marks bytes initialized, but only when the address is
+	// exact (a weak update would be unsound to treat as initializing).
+	stackWrite
+	// stackCondWrite is a write that may not happen at runtime (e.g.
+	// stack_pop fills its buffer only on success): bounds-check only,
+	// neither requiring nor providing initialization.
+	stackCondWrite
+)
+
 // checkStackRange validates an access of size bytes through base (a stack
-// pointer with offset range [lo,hi]) plus the static offset off. Reads
-// require every possibly-touched byte initialized; writes mark bytes
-// initialized only when the address is exact (a weak update would be
-// unsound to treat as initializing).
-func checkStackRange(pc int, s *absState, base regState, off int32, size int, write bool) error {
+// pointer with offset range [lo,hi]) plus the static offset off, with
+// read/write/conditional-write semantics per mode.
+func checkStackRange(pc int, s *absState, base regState, off int32, size int, mode stackAccess) error {
 	if base.lo < -offWindow || base.hi > offWindow {
 		return verr(pc, "stack access at offset %d size %d out of bounds", base.lo, size)
 	}
@@ -220,13 +233,16 @@ func checkStackRange(pc int, s *absState, base regState, off int32, size int, wr
 	if lo < -StackSize || hi+int64(size) > 0 {
 		return verr(pc, "stack access at offset %d size %d out of bounds", lo, size)
 	}
-	if write {
+	switch mode {
+	case stackWrite:
 		if base.lo == base.hi {
 			idx := int(lo + StackSize)
 			for i := 0; i < size; i++ {
 				s.stackInit[idx+i] = true
 			}
 		}
+		return nil
+	case stackCondWrite:
 		return nil
 	}
 	for a := lo; a < hi+int64(size); a++ {
@@ -411,7 +427,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		base := s.regs[insn.Src]
 		switch base.kind {
 		case rkPtrStack:
-			if err := checkStackRange(pc, &s, base, insn.Off, 8, false); err != nil {
+			if err := checkStackRange(pc, &s, base, insn.Off, 8, stackRead); err != nil {
 				return nil, err
 			}
 		case rkPtrMapValue, rkPtrMapValueOrNull:
@@ -436,7 +452,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 		}
 		switch base.kind {
 		case rkPtrStack:
-			if err := checkStackRange(pc, &s, base, insn.Off, 8, true); err != nil {
+			if err := checkStackRange(pc, &s, base, insn.Off, 8, stackWrite); err != nil {
 				return nil, err
 			}
 		case rkPtrMapValue, rkPtrMapValueOrNull:
@@ -526,17 +542,18 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 				if a.kind != rkPtrStack {
 					return nil, verr(pc, "%s arg %d must be a stack pointer, got %s", spec.Name, i+1, a.kind)
 				}
-				// Map update/push read the buffer; pop writes it. Reads
-				// require initialized bytes; the pop write marks bytes
-				// initialized (only when the pointer is exact).
-				write := insn.Imm == HelperStackPop
-				if err := checkStackRange(pc, &s, a, 0, size, write); err != nil {
-					return nil, err
+				// Map update/push read the buffer, so every byte must be
+				// initialized. Pop writes it, but only when the pop
+				// succeeds (vm.go leaves the buffer untouched on the
+				// failure path), so the destination is bounds-checked
+				// without marking bytes initialized: a conditional write
+				// must not let later code read bytes the VM never wrote.
+				mode := stackRead
+				if insn.Imm == HelperStackPop {
+					mode = stackCondWrite
 				}
-				if !write {
-					if err := checkStackRange(pc, &s, a, 0, size, false); err != nil {
-						return nil, err
-					}
+				if err := checkStackRange(pc, &s, a, 0, size, mode); err != nil {
+					return nil, err
 				}
 			case ArgPtrSized:
 				if a.kind != rkPtrStack {
@@ -551,7 +568,7 @@ func step(p *Program, pc int, in absState) ([]succ, error) {
 				if !sizedPtrSeen {
 					return nil, verr(pc, "%s arg %d: size without preceding pointer", spec.Name, i+1)
 				}
-				if err := checkStackRange(pc, &s, sizedPtr, 0, int(a.vr.Const()), false); err != nil {
+				if err := checkStackRange(pc, &s, sizedPtr, 0, int(a.vr.Const()), stackRead); err != nil {
 					return nil, err
 				}
 			}

@@ -487,6 +487,35 @@ func TestDisassembleSmoke(t *testing.T) {
 	}
 }
 
+func TestVerifyPopDoesNotInitializeBuffer(t *testing.T) {
+	// stack_pop writes its destination only when the pop succeeds, so the
+	// verifier must not treat the call as initializing the buffer: a load
+	// of never-stored bytes after a (possibly failing) pop is the model
+	// gap that let dead-store elimination miscompile the failure path.
+	build := func(preInit bool) *Program {
+		b := NewBuilder("pop-uninit")
+		for _, m := range NewGenMaps() {
+			b.AddMap(m)
+		}
+		if preInit {
+			b.StoreImm(R10, -8, 0)
+		}
+		return b.
+			LoadMapPtr(R1, genMapStack).
+			MovReg(R2, R10).Sub(R2, 8).
+			Call(HelperStackPop).
+			Load(R0, R10, -8).
+			Exit().
+			MustBuild()
+	}
+	if err := Verify(build(false), 0); err == nil {
+		t.Fatal("load of pop buffer without prior init must be rejected")
+	}
+	if err := Verify(build(true), 0); err != nil {
+		t.Fatalf("pre-initialized pop buffer rejected: %v", err)
+	}
+}
+
 func TestVerifyRejectsHelperOnWrongMapKind(t *testing.T) {
 	// Regression for a divergence found by FuzzVerify: stack_push/stack_pop
 	// and perf_event_output verified against any map type, then faulted in
