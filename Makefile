@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench figures fuzz-smoke cover
+.PHONY: check build vet lint test race bench bench-smoke figures fuzz-smoke cover
 
-check: build lint race
+check: build lint race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzVerifyThenRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzOptimize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzRingbuf$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzPerCPURing$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
 
 # Coverage with a per-package summary (baseline recorded in README.md).
@@ -49,6 +50,12 @@ cover:
 # Substrate micro-benchmarks (single-shot; drop -benchtime for real runs).
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Single-shot run of the per-CPU drain benchmark: a cheap CI guard that the
+# batched drain path assembles and runs at 1/2/4 drain threads against both
+# ring topologies (real throughput numbers need default -benchtime).
+bench-smoke:
+	$(GO) test -bench '^BenchmarkDrainPerCPUvsSingle$$' -benchtime 1x -run xxx .
 
 # Regenerate every figure at quick scale.
 figures:

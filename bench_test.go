@@ -7,6 +7,10 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tscout/internal/bpf"
@@ -197,7 +201,7 @@ func BenchmarkProcessorShardedVsSingle(b *testing.B) {
 						tscout.OUID(50+j), 1, tscout.Metrics{ElapsedNS: 5}, []uint64{1, 2}))
 				}
 			}
-			drained += int64(p.PollBudget(budget))
+			drained += int64(p.Drain(tscout.DrainOptions{Budget: budget}).Points)
 		}
 		b.StopTimer()
 		virtualSec := float64(b.N) * periodNS / 1e9
@@ -207,6 +211,122 @@ func BenchmarkProcessorShardedVsSingle(b *testing.B) {
 	}
 	b.Run("single", func(b *testing.B) { run(b, 1) })
 	b.Run("sharded-4", func(b *testing.B) { run(b, 4) })
+}
+
+// countingBatchSink counts delivered points, taking the BatchSink fast
+// path when the Processor offers it. Atomic counters keep it safe for the
+// sharded drain's concurrent flushes.
+type countingBatchSink struct {
+	points  atomic.Int64
+	batches atomic.Int64
+}
+
+func (s *countingBatchSink) Write(tscout.TrainingPoint) error {
+	s.points.Add(1)
+	return nil
+}
+
+func (s *countingBatchSink) WriteBatch(pts []tscout.TrainingPoint) error {
+	s.points.Add(int64(len(pts)))
+	s.batches.Add(1)
+	return nil
+}
+
+// BenchmarkDrainPerCPUvsSingle is the headline comparison for the per-CPU
+// ring redesign: sustained concurrent submission into every subsystem's
+// rings, drained by 1/2/4 affinity-sharded threads, with one simulated CPU
+// ("single" — the old topology: one ring per subsystem) versus eight
+// ("percpu-8" — 32 rings total). The metric is drained samples per
+// wall-clock second; per-CPU must scale with drain threads because each
+// thread owns a disjoint set of ring locks, while the single-ring layout
+// serializes every thread behind four locks at best.
+func BenchmarkDrainPerCPUvsSingle(b *testing.B) {
+	subs := []tscout.SubsystemID{
+		tscout.SubsystemExecutionEngine, tscout.SubsystemNetworking,
+		tscout.SubsystemLogSerializer, tscout.SubsystemDiskWriter,
+	}
+	run := func(b *testing.B, numCPUs, threads int) {
+		k := kernel.New(sim.LargeHW, 1, 0)
+		k.SetNumCPUs(numCPUs)
+		sink := &countingBatchSink{}
+		ts := tscout.New(k, tscout.Config{
+			Seed: 1, ProcessorParallelism: threads,
+			DisableProcessorFeedback: true,
+			RingCapacity:             1024,
+			ProcessorSink:            sink,
+		})
+		for i, sub := range subs {
+			ts.MustRegisterOU(tscout.OUDef{
+				ID: tscout.OUID(50 + i), Name: sub.String() + "_ou", Subsystem: sub,
+				Features: []string{"a", "b"},
+			}, tscout.ResourceSet{CPU: true})
+		}
+		if err := ts.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		ts.Sampler().SetAllRates(100)
+		p := ts.Processor()
+
+		// One producer goroutine per subsystem, spraying samples round-robin
+		// over the simulated CPUs concurrently with the timed drain loop.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i, sub := range subs {
+			payload := tscout.EncodeSample(
+				tscout.OUID(50+i), 1, tscout.Metrics{ElapsedNS: 5}, []uint64{1, 2})
+			ring := ts.CollectorFor(sub).Ring
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cpu := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ring.SubmitFrom(cpu, payload)
+					cpu++
+					if cpu == numCPUs {
+						cpu = 0
+					}
+				}
+			}()
+		}
+
+		// Wait until every producer is demonstrably running, so short timed
+		// loops measure drain throughput rather than goroutine startup.
+		for _, sub := range subs {
+			ring := ts.CollectorFor(sub).Ring
+			for ring.Stats().Submitted == 0 {
+				runtime.Gosched()
+			}
+		}
+
+		var drained int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drained += int64(p.Drain(tscout.DrainOptions{PerRingCap: 512}).Drained)
+			if i%64 == 63 {
+				// Periodically discard the in-memory archive so long runs
+				// measure drain throughput, not append-only memory growth.
+				b.StopTimer()
+				p.Reset()
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(drained)/sec, "drained/s")
+		}
+	}
+	for _, threads := range []int{1, 2, 4} {
+		threads := threads
+		b.Run(fmt.Sprintf("single/threads=%d", threads), func(b *testing.B) { run(b, 1, threads) })
+		b.Run(fmt.Sprintf("percpu-8/threads=%d", threads), func(b *testing.B) { run(b, 8, threads) })
+	}
 }
 
 // BenchmarkCollectorInvocation measures one full BEGIN/END/FEATURES marker
@@ -241,7 +361,7 @@ func BenchmarkCollectorInvocation(b *testing.B) {
 func BenchmarkCollectorVsDirectGo(b *testing.B) {
 	k := kernel.New(sim.LargeHW, 1, 0)
 	col, err := tscout.GenerateCollector(tscout.SubsystemExecutionEngine,
-		tscout.ResourceSet{CPU: true}, 1024)
+		tscout.ResourceSet{CPU: true}, tscout.CollectorConfig{NumCPUs: 1, PerCPUCapacity: 1024})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -271,7 +391,7 @@ func BenchmarkCollectorVsDirectGo(b *testing.B) {
 
 func BenchmarkBPFVerifier(b *testing.B) {
 	col, err := tscout.GenerateCollector(tscout.SubsystemExecutionEngine,
-		tscout.ResourceSet{CPU: true, Disk: true, Network: true}, 16)
+		tscout.ResourceSet{CPU: true, Disk: true, Network: true}, tscout.CollectorConfig{NumCPUs: 1, PerCPUCapacity: 16})
 	if err != nil {
 		b.Fatal(err)
 	}

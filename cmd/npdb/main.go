@@ -20,6 +20,7 @@ import (
 
 	"tscout/internal/dbms"
 	"tscout/internal/sim"
+	"tscout/internal/tscout"
 	"tscout/internal/wal"
 )
 
@@ -76,7 +77,7 @@ func main() {
 				fmt.Println("not instrumented (run with -instrument)")
 				continue
 			}
-			srv.TS.Processor().Poll()
+			srv.TS.Processor().Drain(tscout.DrainOptions{})
 			pts := srv.TS.Processor().Points()
 			fmt.Printf("%d training points\n", len(pts))
 			for i, p := range pts {

@@ -86,6 +86,58 @@ func TestFormatProcessorStatsDropFraction(t *testing.T) {
 	}
 }
 
+func TestFormatProcessorStatsPerCPUSection(t *testing.T) {
+	var st tscout.ProcessorStats
+	// Single-CPU snapshots keep the compact layout: per-ring telemetry
+	// would only duplicate the shard aggregate.
+	st.Rings[tscout.SubsystemExecutionEngine] = []bpf.RingStats{{Submitted: 10, Drained: 10}}
+	if out := formatProcessorStats(st); strings.Contains(out, "per-cpu rings") {
+		t.Fatalf("per-cpu section rendered for a single-CPU deployment:\n%s", out)
+	}
+
+	// Multi-CPU: only rings with traffic render, quiet ones are counted.
+	st.Rings[tscout.SubsystemExecutionEngine] = []bpf.RingStats{
+		{Submitted: 10, Drained: 8, Dropped: 2},
+		{},
+		{Submitted: 3, Drained: 3},
+		{},
+	}
+	st.Rings[tscout.SubsystemDiskWriter] = []bpf.RingStats{{}, {}, {}, {}}
+	out := formatProcessorStats(st)
+	if !strings.Contains(out, "per-cpu rings") {
+		t.Fatalf("per-cpu section missing:\n%s", out)
+	}
+	section := out[strings.Index(out, "per-cpu rings"):]
+	rows := 0
+	for _, line := range strings.Split(section, "\n") {
+		if strings.HasPrefix(line, "execution-engine") {
+			rows++
+		}
+		if strings.HasPrefix(line, "disk-writer") {
+			t.Fatalf("quiet subsystem rendered a per-cpu row:\n%s", section)
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("want 2 active exec-engine ring rows, got %d:\n%s", rows, section)
+	}
+	if !strings.Contains(section, "quiet-rings=6") {
+		t.Fatalf("quiet-ring count missing or wrong:\n%s", section)
+	}
+
+	// Batch histogram renders once any bucket is nonzero, with the
+	// bucket labels inline.
+	if strings.Contains(out, "batch-size hist") {
+		t.Fatalf("histogram rendered with all-zero buckets:\n%s", out)
+	}
+	st.BatchSizeHist[0] = 4
+	st.BatchSizeHist[2] = 9
+	out = formatProcessorStats(st)
+	if !strings.Contains(out, "batch-size hist:") ||
+		!strings.Contains(out, "1=4") || !strings.Contains(out, "5-16=9") {
+		t.Fatalf("histogram section missing or mislabeled:\n%s", out)
+	}
+}
+
 func TestFormatProcessorStatsCodegenSection(t *testing.T) {
 	var st tscout.ProcessorStats
 	// Disabled everywhere: the codegen section must not render, keeping

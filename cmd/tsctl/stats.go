@@ -31,6 +31,45 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 		st.FeedbackActions, st.FlushQueueDrops, st.PendingFlush, st.Processed)
 	fmt.Fprintf(&b, "drop-fraction=%.3f\n", st.DropFraction())
 
+	// Per-CPU ring telemetry only renders on multi-CPU deployments (with
+	// one CPU the single ring duplicates the shard aggregate above), and
+	// only rings that saw traffic get a row — a 40-core kernel has 160
+	// rings and the quiet ones are noise. A footer counts what was elided.
+	multiCPU := false
+	for i := range st.Rings {
+		multiCPU = multiCPU || len(st.Rings[i]) > 1
+	}
+	if multiCPU {
+		fmt.Fprintf(&b, "\nper-cpu rings (active only):\n")
+		fmt.Fprintf(&b, "%-18s %5s %10s %10s %10s\n", "subsystem", "cpu", "submitted", "drained", "dropped")
+		quiet := 0
+		for _, sub := range tscout.AllSubsystems {
+			for cpu, rs := range st.Rings[sub] {
+				if rs.Submitted == 0 && rs.Drained == 0 && rs.Dropped == 0 {
+					quiet++
+					continue
+				}
+				fmt.Fprintf(&b, "%-18s %5d %10d %10d %10d\n",
+					sub.String(), cpu, rs.Submitted, rs.Drained, rs.Dropped)
+			}
+		}
+		fmt.Fprintf(&b, "quiet-rings=%d\n", quiet)
+	}
+
+	// Batch-size histogram: skipped while all buckets are zero (nothing
+	// has been drained yet, or the snapshot predates the batched drain).
+	anyBatch := false
+	for _, n := range st.BatchSizeHist {
+		anyBatch = anyBatch || n > 0
+	}
+	if anyBatch {
+		fmt.Fprintf(&b, "\nbatch-size hist:")
+		for i, n := range st.BatchSizeHist {
+			fmt.Fprintf(&b, " %s=%d", tscout.BatchHistLabels[i], n)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
 	// Codegen savings only render when the optimizer ran, so deployments
 	// without it (and the zero-value snapshot) keep the compact layout.
 	optimized := false

@@ -81,7 +81,7 @@ func main() {
 	for _, n := range []int64{1000, 5000, 20000} {
 		runGC(n)
 	}
-	ts.Processor().Poll()
+	ts.Processor().Drain(tscout.DrainOptions{})
 	fmt.Println("fused GC samples split into per-OU training points:")
 	for _, p := range ts.Processor().Points() {
 		fmt.Printf("  %-10s objects=%6.0f elapsed=%8.1fus alloc=%dB\n",
@@ -95,7 +95,7 @@ func main() {
 	for i := 0; i < 100; i++ {
 		runGC(1000)
 	}
-	ts.Processor().Poll()
+	ts.Processor().Drain(tscout.DrainOptions{})
 	fmt.Printf("\nat a 10%% sampling rate, 100 GC runs produced %d fused samples (~10 expected)\n",
 		len(ts.Processor().Points())/2)
 

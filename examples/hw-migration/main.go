@@ -30,7 +30,7 @@ func collectOffline(profile sim.HardwareProfile) []model.Point {
 	if err := runner.RunAll(srv, runner.Config{}); err != nil {
 		log.Fatal(err)
 	}
-	srv.TS.Processor().Poll()
+	srv.TS.Processor().Drain(tscout.DrainOptions{})
 	return model.FromTrainingPoints(srv.TS.Processor().Points(),
 		[]float64{profile.ClockGHz * 1000})
 }

@@ -61,7 +61,7 @@ func main() {
 	scan.Features(worker, 4096, rows, rowBytes)
 
 	// 4. The Processor drains the perf ring buffer into training points.
-	ts.Processor().Poll()
+	ts.Processor().Drain(tscout.DrainOptions{})
 	for _, p := range ts.Processor().Points() {
 		fmt.Printf("\ntraining point for %q (%s):\n", p.OUName, p.Subsystem)
 		for i, name := range p.FeatureNames {

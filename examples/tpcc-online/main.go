@@ -30,7 +30,7 @@ func main() {
 	if err := runner.RunAll(offSrv, runner.Config{}); err != nil {
 		log.Fatal(err)
 	}
-	offSrv.TS.Processor().Poll()
+	offSrv.TS.Processor().Drain(tscout.DrainOptions{})
 	hw := []float64{sim.LargeHW.ClockGHz * 1000}
 	offline := model.FromTrainingPoints(offSrv.TS.Processor().Points(), hw)
 	fmt.Printf("offline runner data: %d points\n", len(offline))

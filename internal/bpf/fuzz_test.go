@@ -217,3 +217,123 @@ func FuzzRingbuf(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPerCPURing differentially tests PerCPURing against one model queue
+// per CPU: submissions route by CPU (with wrap-around for out-of-range
+// values), each ring is an independent FIFO with overwrite-oldest-on-full,
+// and both the per-ring and the aggregate accounting identities
+// submitted == drained + dropped + pending hold at every step.
+func FuzzPerCPURing(f *testing.F) {
+	f.Add(uint8(3), uint8(4), []byte{0x09, 0x51, 0x0B, 0xFF, 0x00})
+	f.Add(uint8(1), uint8(1), []byte{0x09, 0x09, 0x0B, 0x15})
+	f.Add(uint8(8), uint8(2), []byte{0x29, 0x71, 0x1B, 0x02, 0x05})
+
+	f.Fuzz(func(t *testing.T, numCPUs, capacity uint8, ops []byte) {
+		cpus := int(numCPUs%8) + 1
+		capV := int(capacity%16) + 1
+		r := NewPerCPURing("fuzz/percpu", cpus, capV)
+
+		type model struct {
+			queue     [][]byte
+			submitted int64
+			dropped   int64
+			drained   int64
+		}
+		ms := make([]model, cpus)
+		next := byte(0)
+		var batch Batch
+
+		for _, op := range ops {
+			cpu := int(op>>3) % cpus
+			switch op & 0x7 {
+			case 0, 1: // submit a tagged sample from cpu
+				payload := []byte{next, byte(op)}
+				next++
+				r.SubmitFrom(int(op>>3), payload) // ring wraps out-of-range itself
+				m := &ms[cpu]
+				m.submitted++
+				if len(m.queue) == capV {
+					m.queue = m.queue[1:]
+					m.dropped++
+				}
+				m.queue = append(m.queue, payload)
+			case 2: // legacy Submit routes to cpu 0
+				payload := []byte{next, 0xEE}
+				next++
+				r.Submit(payload)
+				m := &ms[0]
+				m.submitted++
+				if len(m.queue) == capV {
+					m.queue = m.queue[1:]
+					m.dropped++
+				}
+				m.queue = append(m.queue, payload)
+			case 3, 4: // drain one ring into a reused batch
+				max := cpu + 1 // reuse the routed cpu as a small max
+				batch.Reset()
+				n := r.DrainBatch(cpu, &batch, max)
+				m := &ms[cpu]
+				want := len(m.queue)
+				if max < want {
+					want = max
+				}
+				if n != batch.Len() || n != want {
+					t.Fatalf("DrainBatch(cpu %d, max %d): n=%d batch=%d, model %d", cpu, max, n, batch.Len(), want)
+				}
+				for i := 0; i < n; i++ {
+					s, w := batch.Sample(i), m.queue[i]
+					if len(s) != len(w) || s[0] != w[0] || s[1] != w[1] {
+						t.Fatalf("cpu %d drain order: sample %d = %v, model %v", cpu, i, s, w)
+					}
+				}
+				m.queue = m.queue[want:]
+				m.drained += int64(want)
+			case 5: // per-ring and aggregate stats identities
+				var aggSub, aggDrop, aggDrained int64
+				var aggPending int
+				for c := 0; c < cpus; c++ {
+					st := r.RingStats(c)
+					m := &ms[c]
+					if st.Submitted != m.submitted || st.Dropped != m.dropped ||
+						st.Drained != m.drained || st.Pending != len(m.queue) {
+						t.Fatalf("cpu %d stats %+v, model %+v pending %d", c, st, m, len(m.queue))
+					}
+					if st.Submitted != st.Drained+st.Dropped+int64(st.Pending) {
+						t.Fatalf("cpu %d identity violated: %+v", c, st)
+					}
+					aggSub += st.Submitted
+					aggDrop += st.Dropped
+					aggDrained += st.Drained
+					aggPending += st.Pending
+				}
+				agg := r.Stats()
+				if agg.Submitted != aggSub || agg.Dropped != aggDrop ||
+					agg.Drained != aggDrained || agg.Pending != aggPending ||
+					agg.Capacity != cpus*capV {
+					t.Fatalf("aggregate stats %+v, summed {%d %d %d %d}", agg, aggSub, aggDrop, aggDrained, aggPending)
+				}
+			case 6: // len
+				total := 0
+				for c := range ms {
+					total += len(ms[c].queue)
+				}
+				if r.Len() != total {
+					t.Fatalf("Len %d, model %d", r.Len(), total)
+				}
+			case 7: // reset
+				r.Reset()
+				for c := range ms {
+					ms[c] = model{}
+				}
+			}
+		}
+		st := r.Stats()
+		var mDrained int64
+		for c := range ms {
+			mDrained += ms[c].drained
+		}
+		if st.Submitted != mDrained+st.Dropped+int64(st.Pending) {
+			t.Fatalf("final aggregate identity violated: %+v drained %d", st, mDrained)
+		}
+	})
+}

@@ -22,6 +22,7 @@ const (
 	genMapStack
 	genMapRing
 	genMapPerTask
+	genMapPerCPU
 	numGenMaps
 )
 
@@ -41,6 +42,7 @@ func NewGenMaps() []Map {
 		genMapStack:   NewStackMap("fuzz/stack", genStackValue, 4),
 		genMapRing:    NewPerfRingBuffer("fuzz/ring", 32),
 		genMapPerTask: NewPerTaskMap("fuzz/pertask", genHashValueSize),
+		genMapPerCPU:  NewPerCPURing("fuzz/percpu", 4, 8),
 	}
 }
 
@@ -524,7 +526,13 @@ func (g *progGen) genPerfOutput() {
 	n := g.rng.Intn(4) + 1
 	w := g.rng.Intn(StackSize/8 - n)
 	g.initRange(w, n)
-	g.b.LoadMapPtr(R1, genMapRing)
+	// Either perf-output target kind verifies; alternate between the
+	// shared ring and the per-CPU ring set.
+	ring := int(genMapRing)
+	if g.rng.Intn(2) == 1 {
+		ring = genMapPerCPU
+	}
+	g.b.LoadMapPtr(R1, ring)
 	g.emitStackPtr(R2, w)
 	g.b.Mov(R3, int64(8*n))
 	g.st.regs[R3] = genReg{kind: rkScalar}

@@ -18,6 +18,7 @@ type PerfRingBuffer struct {
 	count   int
 
 	submitted int64
+	drained   int64
 	dropped   int64
 }
 
@@ -85,6 +86,10 @@ func (r *PerfRingBuffer) Submit(data []byte) {
 	r.submitted++
 }
 
+// SubmitFrom implements PerfOutputTarget; a single shared ring ignores the
+// submitting CPU.
+func (r *PerfRingBuffer) SubmitFrom(cpu int, data []byte) { r.Submit(data) }
+
 // Drain removes and returns up to max samples in submission order. A max
 // of 0 or less drains everything.
 func (r *PerfRingBuffer) Drain(max int) [][]byte {
@@ -115,7 +120,29 @@ func (r *PerfRingBuffer) DrainAppend(dst [][]byte, max int) ([][]byte, int) {
 		r.head = (r.head + 1) % r.capacity
 	}
 	r.count -= n
+	r.drained += int64(n)
 	return dst, n
+}
+
+// DrainBatch removes up to max samples (0 or less = everything) in
+// submission order, copying them into dst's contiguous buffer, and returns
+// the number drained. Unlike DrainAppend it allocates no per-sample slice:
+// the copies land back-to-back in dst's reusable buffer.
+func (r *PerfRingBuffer) DrainBatch(dst *Batch, max int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if max > 0 && max < n {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst.Append(r.entries[r.head])
+		r.entries[r.head] = nil
+		r.head = (r.head + 1) % r.capacity
+	}
+	r.count -= n
+	r.drained += int64(n)
+	return n
 }
 
 // RingStats is a consistent snapshot of a ring buffer's counters, taken
@@ -123,6 +150,7 @@ func (r *PerfRingBuffer) DrainAppend(dst [][]byte, max int) ([][]byte, int) {
 // concurrent Submit (the accounting hazard behind stale feedback deltas).
 type RingStats struct {
 	Submitted int64 // cumulative Submit calls
+	Drained   int64 // cumulative samples pulled out by the consumer
 	Dropped   int64 // cumulative overwrites
 	Pending   int   // samples currently buffered
 	Capacity  int
@@ -134,6 +162,7 @@ func (r *PerfRingBuffer) Stats() RingStats {
 	defer r.mu.Unlock()
 	return RingStats{
 		Submitted: r.submitted,
+		Drained:   r.drained,
 		Dropped:   r.dropped,
 		Pending:   r.count,
 		Capacity:  r.capacity,
@@ -160,5 +189,5 @@ func (r *PerfRingBuffer) Reset() {
 	defer r.mu.Unlock()
 	r.entries = make([][]byte, r.capacity)
 	r.head, r.count = 0, 0
-	r.submitted, r.dropped = 0, 0
+	r.submitted, r.drained, r.dropped = 0, 0, 0
 }

@@ -532,6 +532,7 @@ func TestVerifyRejectsHelperOnWrongMapKind(t *testing.T) {
 		{"pop on stack map", HelperStackPop, genMapStack, true},
 		{"perf output on array map", HelperPerfOutput, genMapArray, false},
 		{"perf output on ring", HelperPerfOutput, genMapRing, true},
+		{"perf output on per-cpu ring", HelperPerfOutput, genMapPerCPU, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -426,7 +426,7 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 		if err != nil {
 			return spec.CostNS, err
 		}
-		rb, ok := m.(*PerfRingBuffer)
+		rb, ok := m.(PerfOutputTarget)
 		if !ok {
 			return spec.CostNS, ErrNotPerfArray
 		}
@@ -435,7 +435,10 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 		if err != nil {
 			return spec.CostNS, err
 		}
-		rb.Submit(data)
+		// Route by the submitting task's current CPU, as perf does: a
+		// per-CPU target lands the sample in that CPU's ring, the shared
+		// ring ignores the hint.
+		rb.SubmitFrom(ec.task.CPU(), data)
 		ec.regs[R0] = 0
 		// Copy cost scales with sample size.
 		return spec.CostNS + int64(size/16), nil

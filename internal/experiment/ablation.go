@@ -46,7 +46,7 @@ func AblationNoise(sc Scale) ([]NoiseAblationRow, error) {
 				if err := runner.RunAll(srv, runner.Config{Scale: sc.RunnerScale}); err != nil {
 					return nil, err
 				}
-				srv.TS.Processor().Poll()
+				srv.TS.Processor().Drain(tscout.DrainOptions{})
 			} else {
 				gen := tpccGen(2)
 				if err := gen.Setup(srv); err != nil {

@@ -94,7 +94,7 @@ func collectOffline(profile sim.HardwareProfile, seed int64, sc Scale) ([]model.
 	if err := runner.RunAll(srv, runner.Config{Scale: sc.RunnerScale}); err != nil {
 		return nil, err
 	}
-	srv.TS.Processor().Poll()
+	srv.TS.Processor().Drain(tscout.DrainOptions{})
 	return model.FromTrainingPoints(srv.TS.Processor().Points(), hwContext(profile)), nil
 }
 

@@ -28,6 +28,7 @@ type Kernel struct {
 
 	mu          sync.Mutex
 	nextPID     int
+	numCPUs     int
 	tracepoints map[string]*Tracepoint
 	loadFactor  float64
 
@@ -41,13 +42,42 @@ type Kernel struct {
 // New creates a simulated kernel on the given hardware with deterministic
 // measurement noise derived from seed. sigma is the relative measurement
 // jitter (0 disables noise).
+//
+// The simulated CPU count starts at 1 — the single-consumer topology every
+// recorded experiment was measured on — and multi-CPU deployments opt in
+// with SetNumCPUs (e.g. SetNumCPUs(profile.Cores)). Task placement and ring
+// routing change with the CPU count, so defaulting it to the profile's
+// cores would silently reshuffle the sample streams of existing setups.
 func New(profile sim.HardwareProfile, seed int64, sigma float64) *Kernel {
 	return &Kernel{
 		Profile:     profile,
 		Noise:       sim.NewNoise(seed, sigma),
 		nextPID:     1,
+		numCPUs:     1,
 		tracepoints: make(map[string]*Tracepoint),
 	}
+}
+
+// NumCPUs returns the number of simulated CPUs (1 by default). Per-CPU
+// structures — the perf ring buffers real perf allocates one-per-core —
+// size themselves from this.
+func (k *Kernel) NumCPUs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.numCPUs
+}
+
+// SetNumCPUs overrides the simulated CPU count (n < 1 is clamped to 1).
+// Call it before creating tasks or deploying per-CPU consumers: existing
+// tasks keep their assigned CPU, so shrinking the count mid-run would leave
+// tasks on CPUs no new ring covers.
+func (k *Kernel) SetNumCPUs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.numCPUs = n
 }
 
 // SetLoadFactor declares how many worker threads are actively contending
@@ -83,7 +113,10 @@ func (k *Kernel) NewTask(name string) *Task {
 	pid := k.nextPID
 	k.nextPID++
 	t := &Task{
-		PID:    pid,
+		PID: pid,
+		// Deterministic round-robin placement stands in for the
+		// scheduler's initial CPU assignment; Migrate moves a task.
+		cpu:    (pid - 1) % k.numCPUs,
 		Name:   name,
 		kernel: k,
 		perf:   newPerfContext(k),

@@ -29,6 +29,7 @@ type Task struct {
 	PID    int
 	Name   string
 	kernel *Kernel
+	cpu    int
 
 	Clock sim.Clock
 	perf  *PerfContext
@@ -45,6 +46,21 @@ type Task struct {
 
 // Kernel returns the kernel this task belongs to.
 func (t *Task) Kernel() *Kernel { return t.kernel }
+
+// CPU returns the simulated CPU the task is currently running on. Submit
+// paths that are per-CPU by construction (perf ring buffers) route by this.
+func (t *Task) CPU() int { return t.cpu }
+
+// Migrate moves the task to another CPU (clamped into the kernel's range).
+// Like the Charge methods it is owner-serialized: only the goroutine
+// driving the task may call it.
+func (t *Task) Migrate(cpu int) {
+	n := t.kernel.NumCPUs()
+	if cpu < 0 {
+		cpu = 0
+	}
+	t.cpu = cpu % n
+}
 
 // Perf returns the task's perf_event context.
 func (t *Task) Perf() *PerfContext { return t.perf }

@@ -13,6 +13,7 @@ import (
 	"tscout/internal/dbms"
 	"tscout/internal/network"
 	"tscout/internal/storage"
+	"tscout/internal/tscout"
 )
 
 // Config tunes sweep density.
@@ -60,7 +61,7 @@ func RunAll(srv *dbms.Server, cfg Config) error {
 		if err := step(srv, se, cfg); err != nil {
 			return err
 		}
-		srv.TS.Processor().Poll()
+		srv.TS.Processor().Drain(tscout.DrainOptions{})
 	}
 	return nil
 }

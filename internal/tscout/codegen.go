@@ -30,14 +30,24 @@ type Collector struct {
 	// each program before loading (zero when optimization is disabled).
 	OptStats CollectorOptStats
 
-	Ring    *bpf.PerfRingBuffer
+	// Ring is the subsystem's per-CPU perf ring set: one bounded ring per
+	// simulated CPU, with perf_event_output routed by the submitting
+	// task's current CPU (the real perf buffer is likewise per-CPU).
+	Ring    *bpf.PerCPURing
 	entries *bpf.HashMap
 	depth   *bpf.PerTaskMap
 	errors  *bpf.ArrayMap
 }
 
-// CodegenOptions tunes GenerateCollectorOpts.
-type CodegenOptions struct {
+// CollectorConfig is the single codegen configuration surface: it sizes
+// the per-CPU ring set and selects the optional optimization pass.
+type CollectorConfig struct {
+	// NumCPUs is the number of per-CPU rings to create (one per simulated
+	// CPU); values below 1 are clamped to 1.
+	NumCPUs int
+	// PerCPUCapacity bounds each individual CPU ring in samples; values
+	// below 1 are clamped to 1.
+	PerCPUCapacity int
 	// Optimize runs the liveness-driven optimizer (bpf.Optimize) on each
 	// generated program before it is loaded, shrinking the marker hot
 	// path. The optimizer re-verifies its output, so an enabled pass can
@@ -69,7 +79,7 @@ type NamedProgram struct {
 // CollectorPrograms runs code generation for one subsystem × resource set
 // and returns the three marker programs without verifying or loading them.
 func CollectorPrograms(sub SubsystemID, res ResourceSet) []NamedProgram {
-	c := collectorSkeleton(sub, res, 8)
+	c := collectorSkeleton(sub, res, 1, 8)
 	return []NamedProgram{
 		{"begin", c.genBegin()},
 		{"end", c.genEnd()},
@@ -111,21 +121,13 @@ var counterOrder = []kernel.Counter{
 	kernel.CounterCacheMisses, kernel.CounterRefCycles,
 }
 
-// GenerateCollector runs TScout's Codegen for one subsystem: it emits the
-// three marker programs tailored to the subsystem's resource set (probes
-// for unchecked resources are simply not compiled in, Fig. 3) and loads
-// them through the BPF verifier.
-func GenerateCollector(sub SubsystemID, res ResourceSet, ringCapacity int) (*Collector, error) {
-	return GenerateCollectorOpts(sub, res, ringCapacity, CodegenOptions{})
-}
-
 // collectorSkeleton builds a Collector's map set without generating or
 // loading any programs.
-func collectorSkeleton(sub SubsystemID, res ResourceSet, ringCapacity int) *Collector {
+func collectorSkeleton(sub SubsystemID, res ResourceSet, numCPUs, perCPUCap int) *Collector {
 	return &Collector{
 		Subsystem: sub,
 		Resources: res,
-		Ring:      bpf.NewPerfRingBuffer("tscout/"+sub.String()+"/ring", ringCapacity),
+		Ring:      bpf.NewPerCPURing("tscout/"+sub.String()+"/ring", numCPUs, perCPUCap),
 		entries:   bpf.NewHashMap("tscout/"+sub.String()+"/entries", 8, entBytes, 4096),
 		depth:     bpf.NewPerTaskMap("tscout/"+sub.String()+"/depth", 8),
 		errors:    bpf.NewArrayMap("tscout/"+sub.String()+"/errors", 8, 1),
@@ -143,14 +145,17 @@ func describeVerifyError(name string, p *bpf.Program, err error) error {
 	return fmt.Errorf("%s: %w", name, err)
 }
 
-// GenerateCollectorOpts is GenerateCollector with codegen options: an
-// optional optimization pass runs on each program before loading, and its
-// per-program savings are recorded on the Collector.
-func GenerateCollectorOpts(sub SubsystemID, res ResourceSet, ringCapacity int, opts CodegenOptions) (*Collector, error) {
-	c := collectorSkeleton(sub, res, ringCapacity)
-	c.OptStats.Enabled = opts.Optimize
+// GenerateCollector runs TScout's Codegen for one subsystem: it emits the
+// three marker programs tailored to the subsystem's resource set (probes
+// for unchecked resources are simply not compiled in, Fig. 3), sizes the
+// per-CPU ring set from cfg, optionally runs the optimization pass
+// (recording its per-program savings on the Collector), and loads the
+// programs through the BPF verifier.
+func GenerateCollector(sub SubsystemID, res ResourceSet, cfg CollectorConfig) (*Collector, error) {
+	c := collectorSkeleton(sub, res, cfg.NumCPUs, cfg.PerCPUCapacity)
+	c.OptStats.Enabled = cfg.Optimize
 	load := func(name string, p *bpf.Program, st *bpf.OptStats) (*bpf.LoadedProgram, error) {
-		if opts.Optimize {
+		if cfg.Optimize {
 			op, stats, err := bpf.Optimize(p, 0)
 			if err != nil {
 				return nil, describeVerifyError(name+" program (optimize)", p, err)

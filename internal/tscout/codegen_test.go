@@ -34,7 +34,7 @@ func TestCodegenProbeSelection(t *testing.T) {
 	}
 	for mask := 0; mask < 8; mask++ {
 		res := ResourceSet{CPU: mask&1 != 0, Disk: mask&2 != 0, Network: mask&4 != 0}
-		col, err := GenerateCollector(SubsystemExecutionEngine, res, 16)
+		col, err := GenerateCollector(SubsystemExecutionEngine, res, CollectorConfig{NumCPUs: 1, PerCPUCapacity: 16})
 		if err != nil {
 			t.Fatalf("mask %+v: %v", res, err)
 		}
@@ -68,9 +68,9 @@ func TestCodegenProbeSelection(t *testing.T) {
 // TestCodegenRingPerSubsystem: every subsystem gets its own named ring so
 // the Processor can shard its drain path (and tsctl can attribute drops).
 func TestCodegenRingPerSubsystem(t *testing.T) {
-	seen := make(map[*bpf.PerfRingBuffer]SubsystemID)
+	seen := make(map[*bpf.PerCPURing]SubsystemID)
 	for _, sub := range AllSubsystems {
-		col, err := GenerateCollector(sub, ResourceSet{CPU: true}, 16)
+		col, err := GenerateCollector(sub, ResourceSet{CPU: true}, CollectorConfig{NumCPUs: 1, PerCPUCapacity: 16})
 		if err != nil {
 			t.Fatalf("%s: %v", sub, err)
 		}
@@ -262,7 +262,7 @@ func TestCodegenOptimizeSweep(t *testing.T) {
 				CPU: mask&1 != 0, Memory: mask&2 != 0,
 				Disk: mask&4 != 0, Network: mask&8 != 0,
 			}
-			col, err := GenerateCollectorOpts(sub, res, 16, CodegenOptions{Optimize: true})
+			col, err := GenerateCollector(sub, res, CollectorConfig{NumCPUs: 1, PerCPUCapacity: 16, Optimize: true})
 			if err != nil {
 				t.Fatalf("%s mask %d: %v", sub, mask, err)
 			}
@@ -303,9 +303,9 @@ func TestCodegenOptimizeSweep(t *testing.T) {
 // optimized and unoptimized Collectors and compares the raw sample bytes.
 func TestCodegenOptimizePreservesSamples(t *testing.T) {
 	run := func(opt bool) []byte {
-		col, err := GenerateCollectorOpts(SubsystemExecutionEngine,
-			ResourceSet{CPU: true, Disk: true, Network: true}, 16,
-			CodegenOptions{Optimize: opt})
+		col, err := GenerateCollector(SubsystemExecutionEngine,
+			ResourceSet{CPU: true, Disk: true, Network: true},
+			CollectorConfig{NumCPUs: 1, PerCPUCapacity: 16, Optimize: opt})
 		if err != nil {
 			t.Fatal(err)
 		}

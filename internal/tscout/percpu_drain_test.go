@@ -1,0 +1,469 @@
+package tscout
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"tscout/internal/kernel"
+	"tscout/internal/sim"
+)
+
+// This file tests the per-CPU ring drain path (ISSUE 4): drain-thread ring
+// affinity, the per-ring accounting identity, the DrainOptions surface, and
+// the BatchSink fast path.
+
+// deployPerCPU builds a kernel-mode deployment with an explicit simulated
+// CPU count, per-CPU ring capacity, and drain parallelism.
+func deployPerCPU(t *testing.T, seed int64, numCPUs, ringCap, par int) (*TScout, *kernel.Kernel, *Marker, *Marker) {
+	t.Helper()
+	k := kernel.New(sim.LargeHW, seed, 0)
+	k.SetNumCPUs(numCPUs)
+	ts := New(k, Config{
+		RingCapacity:             ringCap,
+		Seed:                     seed,
+		ProcessorParallelism:     par,
+		DisableProcessorFeedback: true,
+	})
+	scan := ts.MustRegisterOU(OUDef{
+		ID: testOUSeqScan, Name: "seq_scan", Subsystem: SubsystemExecutionEngine,
+		Features: []string{"num_rows", "row_bytes"},
+	}, ResourceSet{CPU: true, Memory: true, Disk: true})
+	wal := ts.MustRegisterOU(OUDef{
+		ID: testOUWAL, Name: "log_serialize", Subsystem: SubsystemLogSerializer,
+		Features: []string{"num_records", "bytes"},
+	}, ResourceSet{CPU: true, Disk: true})
+	if err := ts.Deploy(); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	ts.Sampler().SetAllRates(100)
+	return ts, k, scan, wal
+}
+
+// TestRingAffinityDisjoint pins the affinity contract: for every (CPU
+// count, parallelism) combination, each ring — including the user
+// pseudo-ring — is owned by exactly one drain thread, every thread's set is
+// disjoint from every other's, and ownership balances to within one ring.
+func TestRingAffinityDisjoint(t *testing.T) {
+	for _, numCPUs := range []int{1, 2, 3, 8, 40} {
+		for _, par := range []int{1, 2, 3, 4, 8} {
+			numRings := numCPUs * int(NumSubsystems)
+			owned := make([][]int, par)
+			for g := 0; g <= numRings; g++ {
+				owner := ringOwner(g, par)
+				if owner < 0 || owner >= par {
+					t.Fatalf("cpus=%d par=%d: ring %d owned by out-of-range thread %d",
+						numCPUs, par, g, owner)
+				}
+				owned[owner] = append(owned[owner], g)
+			}
+			total, min, max := 0, numRings+2, -1
+			for _, set := range owned {
+				total += len(set)
+				if len(set) < min {
+					min = len(set)
+				}
+				if len(set) > max {
+					max = len(set)
+				}
+			}
+			if total != numRings+1 {
+				t.Fatalf("cpus=%d par=%d: threads own %d rings, want %d (partition broken)",
+					numCPUs, par, total, numRings+1)
+			}
+			if par <= numRings+1 && max-min > 1 {
+				t.Fatalf("cpus=%d par=%d: ownership imbalanced (min %d, max %d)",
+					numCPUs, par, min, max)
+			}
+		}
+	}
+
+	// subsystem-major layout: a subsystem's rings on different CPUs must
+	// land on different threads whenever parallelism allows, otherwise
+	// per-CPU rings would serialize behind one drain thread again.
+	for _, par := range []int{2, 4} {
+		owners := map[int]bool{}
+		for cpu := 0; cpu < 8; cpu++ {
+			owners[ringOwner(globalRingIndex(cpu, SubsystemExecutionEngine, 8), par)] = true
+		}
+		if len(owners) != par {
+			t.Fatalf("par=%d: execution-engine rings across 8 CPUs use %d threads, want %d",
+				par, len(owners), par)
+		}
+	}
+}
+
+// checkPerCPUIdentity asserts, for every subsystem, the per-ring identity
+// submitted == drained + dropped on each individual CPU ring, that the
+// per-ring counters sum to the subsystem aggregate, and that the Stats()
+// snapshot carries the same per-ring numbers. Rings must be empty (call
+// after a final unbudgeted drain).
+func checkPerCPUIdentity(t *testing.T, ts *TScout) {
+	t.Helper()
+	st := ts.Processor().Stats()
+	for _, sub := range AllSubsystems {
+		col := ts.CollectorFor(sub)
+		if col == nil {
+			continue
+		}
+		agg := col.Ring.Stats()
+		perCPU := col.Ring.CPUStats()
+		var sumSub, sumDrained, sumDropped int64
+		for cpu, rs := range perCPU {
+			if rs.Pending != 0 {
+				t.Fatalf("%s cpu%d: ring still holds %d samples after final drain", sub, cpu, rs.Pending)
+			}
+			if rs.Submitted != rs.Drained+rs.Dropped {
+				t.Fatalf("%s cpu%d identity violated: submitted %d != drained %d + dropped %d",
+					sub, cpu, rs.Submitted, rs.Drained, rs.Dropped)
+			}
+			sumSub += rs.Submitted
+			sumDrained += rs.Drained
+			sumDropped += rs.Dropped
+		}
+		if sumSub != agg.Submitted || sumDrained != agg.Drained || sumDropped != agg.Dropped {
+			t.Fatalf("%s: per-ring sums (%d/%d/%d) disagree with aggregate (%d/%d/%d)",
+				sub, sumSub, sumDrained, sumDropped, agg.Submitted, agg.Drained, agg.Dropped)
+		}
+		if !reflect.DeepEqual(st.Rings[sub], perCPU) {
+			t.Fatalf("%s: Stats().Rings disagrees with Ring.CPUStats()", sub)
+		}
+	}
+}
+
+// TestPerCPUAccountingIdentity drives a seeded multi-task workload whose
+// tasks land on (and migrate across) different simulated CPUs, interleaved
+// with budgeted per-ring-capped drains under a deterministic schedule, at
+// 1/2/4 drain threads. After a final sweep, the accounting identity must
+// hold on every individual CPU ring, the rings must sum to the shard
+// aggregates, and the whole run must be bit-identical when repeated.
+func TestPerCPUAccountingIdentity(t *testing.T) {
+	const numCPUs = 4
+	for _, par := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("threads=%d", par), func(t *testing.T) {
+			seed := int64(100 + par)
+			run := func() (ProcessorStats, []TrainingPoint) {
+				ts, k, scan, wal := deployPerCPU(t, seed, numCPUs, 8, par)
+				p := ts.Processor()
+
+				iv := k.NewInterleaver(seed)
+				for ti := 0; ti < 6; ti++ {
+					ti := ti
+					task := k.NewTask(fmt.Sprintf("worker%d", ti))
+					iv.Add(fmt.Sprintf("worker%d", ti), 40, func(i int) {
+						h := uint64(seed)*2654435761 + uint64(ti)*1099511628211 + uint64(i)*2246822519
+						h ^= h >> 13
+						if h%7 == 0 {
+							task.Migrate(int(h>>3) % numCPUs)
+						}
+						m := scan
+						if h%3 == 0 {
+							m = wal
+						}
+						runOU(ts, task, m, sim.Work{
+							Instructions: float64(1000 + h%50000),
+							AllocBytes:   int64(h % 2048),
+						}, h, h>>7)
+					})
+				}
+				iv.Add("drain", 15, func(int) {
+					p.Drain(DrainOptions{Budget: 3, PerRingCap: 2})
+				})
+				iv.Run()
+				p.Drain(DrainOptions{}) // final sweep: empty every ring
+
+				checkPerCPUIdentity(t, ts)
+				dropped := checkKernelIdentity(t, ts)
+				if dropped == 0 {
+					t.Fatalf("workload never overflowed an 8-slot per-CPU ring")
+				}
+
+				// Routing must actually spread: the execution engine is hit
+				// by every task, so more than one of its CPU rings saw
+				// submissions.
+				active := 0
+				for _, rs := range ts.CollectorFor(SubsystemExecutionEngine).Ring.CPUStats() {
+					if rs.Submitted > 0 {
+						active++
+					}
+				}
+				if active < 2 {
+					t.Fatalf("submissions landed on %d execution-engine rings; per-CPU routing is not spreading", active)
+				}
+				return p.Stats(), p.Points()
+			}
+
+			st1, pts1 := run()
+			st2, pts2 := run()
+			if !reflect.DeepEqual(st1, st2) {
+				t.Fatalf("stats differ across identical seeded runs:\n%+v\n%+v", st1, st2)
+			}
+			// With one drain thread the whole pipeline is serial and the
+			// archive order itself is deterministic. With more threads the
+			// workers interleave archive appends for real, so the archive
+			// ORDER is scheduling-dependent — but the point multiset must
+			// still be identical run to run.
+			if par == 1 {
+				if !reflect.DeepEqual(pts1, pts2) {
+					t.Fatalf("training points differ across identical seeded runs")
+				}
+			} else {
+				if !reflect.DeepEqual(sortedPointKeys(pts1), sortedPointKeys(pts2)) {
+					t.Fatalf("training point multisets differ across identical seeded runs")
+				}
+			}
+		})
+	}
+}
+
+// sortedPointKeys canonicalizes training points for order-independent
+// comparison.
+func sortedPointKeys(pts []TrainingPoint) []string {
+	keys := make([]string, len(pts))
+	for i, tp := range pts {
+		keys[i] = fmt.Sprintf("%d|%d|%+v|%v", tp.OU, tp.PID, tp.Metrics, tp.Features)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestAffinityShardedDrainConcurrent is the -race exercise of the
+// affinity-sharded drain: real submitter goroutines on tasks pinned to
+// every simulated CPU race concurrent multi-thread drains. Afterwards the
+// per-ring identity, the shard identity, and the merged-archive seq
+// contract must all hold, and the batched path must have actually batched.
+func TestAffinityShardedDrainConcurrent(t *testing.T) {
+	const numCPUs, par = 8, 4
+	ts, k, scan, wal := deployPerCPU(t, 21, numCPUs, 64, par)
+	p := ts.Processor()
+
+	const workers, iters = 8, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := k.NewTask(fmt.Sprintf("worker%d", w))
+			task.Migrate(w % numCPUs)
+			for i := 0; i < iters; i++ {
+				m := scan
+				if (w+i)%3 == 0 {
+					m = wal
+				}
+				runOU(ts, task, m,
+					sim.Work{Instructions: 4000, BytesTouched: 1024, AllocBytes: 64},
+					uint64(i), uint64(w))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for draining := true; draining; {
+		select {
+		case <-done:
+			draining = false
+		default:
+			p.Drain(DrainOptions{Budget: 16, PerRingCap: 8})
+		}
+	}
+	p.Drain(DrainOptions{})
+
+	checkPerCPUIdentity(t, ts)
+	checkKernelIdentity(t, ts)
+
+	st := p.Stats()
+	var batches int64
+	for _, n := range st.BatchSizeHist {
+		batches += n
+	}
+	if batches == 0 {
+		t.Fatalf("no drain batches recorded in the histogram")
+	}
+
+	// Merged-archive contract under concurrent multi-thread drains: each
+	// shard strictly seq-increasing, seqs globally unique.
+	seen := make(map[uint64]bool)
+	for sub, sh := range p.shards {
+		sh.mu.Lock()
+		prev := uint64(0)
+		for _, e := range sh.archive {
+			if e.seq <= prev {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d archive not strictly seq-increasing: %d after %d", sub, e.seq, prev)
+			}
+			prev = e.seq
+			if seen[e.seq] {
+				sh.mu.Unlock()
+				t.Fatalf("seq %d archived in more than one shard", e.seq)
+			}
+			seen[e.seq] = true
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// TestDrainOptionsSemantics pins PerRingCap and MaxBatches behavior with
+// hand-placed ring contents: caps apply per individual CPU ring, MaxBatches
+// bounds how many rings one cycle touches (in global ring order), and the
+// batch-size histogram buckets what each cycle actually drained.
+func TestDrainOptionsSemantics(t *testing.T) {
+	const numCPUs = 4
+	ts, _, _, _ := deployPerCPU(t, 5, numCPUs, 16, 2)
+	p := ts.Processor()
+	ring := ts.CollectorFor(SubsystemExecutionEngine).Ring
+	for cpu := 0; cpu < numCPUs; cpu++ {
+		for i := 0; i < 10; i++ {
+			ring.SubmitFrom(cpu, EncodeSample(testOUSeqScan, 1, Metrics{ElapsedNS: 5}, []uint64{1, 2}))
+		}
+	}
+
+	// PerRingCap caps every ring individually: 4 rings × 3 samples.
+	res := p.Drain(DrainOptions{PerRingCap: 3})
+	if res.Drained != 12 || res.Batches != 4 || res.Points != 12 {
+		t.Fatalf("PerRingCap drain = %+v, want Drained 12, Batches 4, Points 12", res)
+	}
+	for cpu, rs := range ring.CPUStats() {
+		if rs.Drained != 3 || rs.Pending != 7 {
+			t.Fatalf("cpu%d after capped drain: drained %d pending %d, want 3/7", cpu, rs.Drained, rs.Pending)
+		}
+	}
+
+	// MaxBatches bounds the cycle to the first N non-empty rings.
+	res = p.Drain(DrainOptions{MaxBatches: 2})
+	if res.Batches != 2 || res.Drained != 14 {
+		t.Fatalf("MaxBatches drain = %+v, want Batches 2, Drained 14", res)
+	}
+
+	// The final unbudgeted sweep takes the remaining two rings.
+	res = p.Drain(DrainOptions{})
+	if res.Batches != 2 || res.Drained != 14 {
+		t.Fatalf("final drain = %+v, want Batches 2, Drained 14", res)
+	}
+
+	// Histogram: four 3-sample batches ("2-4"), then four 7-sample batches
+	// ("5-16").
+	st := p.Stats()
+	want := [BatchHistBuckets]int64{0, 4, 4, 0, 0, 0}
+	if st.BatchSizeHist != want {
+		t.Fatalf("batch histogram = %v, want %v", st.BatchSizeHist, want)
+	}
+}
+
+// recordingBatchSink records whether the Processor used the batched fast
+// path and how many points arrived through each entry point.
+type recordingBatchSink struct {
+	mu           sync.Mutex
+	single       int
+	batched      int
+	batchCalls   int
+	failBatches  bool
+	pointsInFail int
+}
+
+func (s *recordingBatchSink) Write(TrainingPoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.single++
+	return nil
+}
+
+func (s *recordingBatchSink) WriteBatch(pts []TrainingPoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchCalls++
+	if s.failBatches {
+		s.pointsInFail += len(pts)
+		return errors.New("sink down")
+	}
+	s.batched += len(pts)
+	return nil
+}
+
+// TestBatchSinkFastPath deploys with a BatchSink and checks every point is
+// delivered through WriteBatch (never point-at-a-time), and that a batch
+// error is charged against every point in the failed batch.
+func TestBatchSinkFastPath(t *testing.T) {
+	sink := &recordingBatchSink{}
+	k := kernel.New(sim.LargeHW, 3, 0)
+	k.SetNumCPUs(2)
+	ts := New(k, Config{Seed: 3, ProcessorSink: sink, DisableProcessorFeedback: true})
+	scan := ts.MustRegisterOU(OUDef{
+		ID: testOUSeqScan, Name: "seq_scan", Subsystem: SubsystemExecutionEngine,
+		Features: []string{"num_rows", "row_bytes"},
+	}, ResourceSet{CPU: true})
+	if err := ts.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Sampler().SetAllRates(100)
+	task := k.NewTask("worker")
+	for i := 0; i < 20; i++ {
+		runOU(ts, task, scan, sim.Work{Instructions: 1000}, uint64(i), 2)
+	}
+	p := ts.Processor()
+	p.Drain(DrainOptions{})
+
+	sink.mu.Lock()
+	single, batched, calls := sink.single, sink.batched, sink.batchCalls
+	sink.mu.Unlock()
+	if single != 0 {
+		t.Fatalf("%d points took the per-point path despite the sink implementing BatchSink", single)
+	}
+	if calls == 0 || int64(batched) != p.Stats().Processed {
+		t.Fatalf("batched delivery: %d points over %d calls, want all %d points",
+			batched, calls, p.Stats().Processed)
+	}
+
+	// A failing WriteBatch counts against every point in the batch.
+	sink.mu.Lock()
+	sink.failBatches = true
+	sink.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		runOU(ts, task, scan, sim.Work{Instructions: 1000}, uint64(i), 2)
+	}
+	p.Drain(DrainOptions{})
+	sink.mu.Lock()
+	failed := sink.pointsInFail
+	sink.mu.Unlock()
+	if failed == 0 {
+		t.Fatalf("failing sink never saw a batch")
+	}
+	if got := p.Stats().Kernel[SubsystemExecutionEngine].SinkErrors; got != int64(failed) {
+		t.Fatalf("SinkErrors = %d, want %d (one per point in failed batches)", got, failed)
+	}
+}
+
+// TestBatchSinkAdapter covers the fallback: AsBatchSink on a plain Sink
+// loops Write for every point and reports the first error; on a sink that
+// already batches it returns the sink itself.
+func TestBatchSinkAdapter(t *testing.T) {
+	var wrote []int
+	fail := errors.New("bad point")
+	plain := sinkFunc(func(tp TrainingPoint) error {
+		wrote = append(wrote, tp.PID)
+		if tp.PID == 2 {
+			return fail
+		}
+		return nil
+	})
+	bs := AsBatchSink(plain)
+	err := bs.WriteBatch([]TrainingPoint{{PID: 1}, {PID: 2}, {PID: 3}})
+	if err != fail {
+		t.Fatalf("WriteBatch error = %v, want first Write error", err)
+	}
+	if !reflect.DeepEqual(wrote, []int{1, 2, 3}) {
+		t.Fatalf("adapter delivered %v, want every point in order", wrote)
+	}
+
+	batching := &recordingBatchSink{}
+	if got := AsBatchSink(batching); got != BatchSink(batching) {
+		t.Fatalf("AsBatchSink wrapped a sink that already implements BatchSink")
+	}
+}
+
+// sinkFunc adapts a function to Sink.
+type sinkFunc func(TrainingPoint) error
+
+func (f sinkFunc) Write(tp TrainingPoint) error { return f(tp) }

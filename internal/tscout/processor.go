@@ -45,9 +45,48 @@ const userDrainPenalty = 3
 // points (counted in stats) rather than stalling sample intake.
 const flushQueueCapacity = 8192
 
-// userShard indexes the user-probe queue's slice of the drain pipeline in
-// per-shard arrays (after the NumSubsystems kernel ring shards).
-const userShard = int(NumSubsystems)
+// BatchHistBuckets is the number of drain-batch size buckets in
+// ProcessorStats.BatchSizeHist.
+const BatchHistBuckets = 6
+
+// BatchHistLabels names the BatchSizeHist buckets, in order.
+var BatchHistLabels = [BatchHistBuckets]string{"1", "2-4", "5-16", "17-64", "65-256", ">256"}
+
+// histBucket maps a non-empty batch size to its histogram bucket.
+func histBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 16:
+		return 2
+	case n <= 64:
+		return 3
+	case n <= 256:
+		return 4
+	}
+	return 5
+}
+
+// globalRingIndex flattens (subsystem, cpu) into the subsystem-major ring
+// index used for drain affinity and budget allocation. The layout is
+// subsystem-major deliberately: with cpu-major indexing the index would be
+// cpu*NumSubsystems+sub, and any parallelism dividing NumSubsystems (2 or 4
+// drain threads against the fixed 4 subsystems) would map every CPU ring of
+// a subsystem to one thread — serializing exactly the hot-subsystem
+// workloads per-CPU rings exist to spread. Subsystem-major gives owner
+// cpu%parallelism whenever the parallelism divides the CPU count, so one
+// subsystem's rings fan out across all drain threads, and with one CPU it
+// degenerates to the old per-subsystem round-robin distribution.
+func globalRingIndex(cpu int, sub SubsystemID, numCPUs int) int {
+	return int(sub)*numCPUs + cpu
+}
+
+// ringOwner is the drain-thread affinity map: global ring index g (or the
+// user pseudo-ring index) is owned by exactly one of the parallelism drain
+// threads, so no two threads ever touch the same ring's lock.
+func ringOwner(g, parallelism int) int { return g % parallelism }
 
 // BudgetForPeriod returns how many samples one Processor drain thread can
 // handle in one drain period of the given virtual length.
@@ -65,6 +104,39 @@ func BudgetForPeriod(periodNS int64) int {
 // into the Processor (stats, submissions) without deadlocking.
 type Sink interface {
 	Write(p TrainingPoint) error
+}
+
+// BatchSink is the optional batched fast path of Sink: sinks that can
+// amortize per-write overhead (lock acquisition, row encoding, syscalls)
+// across a whole flush implement WriteBatch, and the Processor's flush
+// path delivers each drained batch with one call. A WriteBatch error
+// counts against every point in the batch.
+type BatchSink interface {
+	Sink
+	WriteBatch(pts []TrainingPoint) error
+}
+
+// batchSinkAdapter lifts a plain Sink to BatchSink by looping; it delivers
+// every point and returns the first error.
+type batchSinkAdapter struct{ Sink }
+
+func (a batchSinkAdapter) WriteBatch(pts []TrainingPoint) error {
+	var first error
+	for _, tp := range pts {
+		if err := a.Write(tp); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AsBatchSink returns s's own BatchSink implementation when it has one,
+// or a per-point fallback adapter otherwise.
+func AsBatchSink(s Sink) BatchSink {
+	if bs, ok := s.(BatchSink); ok {
+		return bs
+	}
+	return batchSinkAdapter{s}
 }
 
 // SplitWeightFunc apportions a fused sample's metrics across its OUs
@@ -131,6 +203,13 @@ type Processor struct {
 	lastGlobalBudget    int
 	lastEffectiveBudget int
 	feedbackActions     int64
+	batchHist           [BatchHistBuckets]int64
+
+	// drainBatches holds one reusable contiguous drain buffer per drain
+	// thread (allocated with the task group); each worker goroutine only
+	// ever touches its own entry, so batches need no locking and their
+	// backing arrays are reused across drain cycles.
+	drainBatches []bpf.Batch
 }
 
 // NewProcessor creates the Processor for a deployment.
@@ -172,18 +251,14 @@ func (p *Processor) SubmitUserSample(buf []byte) {
 }
 
 // UserSubmitted reports samples offered to the user-probe queue.
-func (p *Processor) UserSubmitted() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.userStats.Submitted
-}
+//
+// Deprecated: read Stats().User.Submitted.
+func (p *Processor) UserSubmitted() int64 { return p.Stats().User.Submitted }
 
 // UserDropped reports samples lost to user-queue overflow.
-func (p *Processor) UserDropped() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.userStats.Dropped
-}
+//
+// Deprecated: read Stats().User.Dropped.
+func (p *Processor) UserDropped() int64 { return p.Stats().User.Dropped }
 
 // Task returns the first of the Processor's drain-thread tasks (created on
 // first use), on which its processing time is charged. With the default
@@ -197,23 +272,78 @@ func (p *Processor) taskGroup() *kernel.TaskGroup {
 	defer p.mu.Unlock()
 	if p.group == nil {
 		p.group = p.ts.kernel.NewTaskGroup("tscout-processor", p.Parallelism())
+		p.drainBatches = make([]bpf.Batch, p.Parallelism())
 	}
 	return p.group
 }
 
+// DrainOptions tunes one Processor drain cycle.
+type DrainOptions struct {
+	// Budget is the per-thread sample budget for the period (0 =
+	// unlimited): the global token budget is Budget × parallelism, shared
+	// by every CPU ring and the user queue, and degraded under overload.
+	Budget int
+	// MaxBatches caps how many non-empty ring batches the cycle may
+	// process (0 = unlimited), bounding the cycle's length under backlog.
+	// The user-queue drain does not count against it.
+	MaxBatches int
+	// PerRingCap caps the samples drained from any single CPU ring in
+	// this cycle (0 = unlimited), bounding how long one hot ring can keep
+	// a drain thread away from its other rings.
+	PerRingCap int
+}
+
+// DrainResult reports what one drain cycle did.
+type DrainResult struct {
+	// Points is the number of training points produced.
+	Points int
+	// Drained is the number of samples pulled from the kernel rings and
+	// the user queue.
+	Drained int
+	// Batches is the number of non-empty ring batches processed.
+	Batches int
+}
+
 // Poll drains all pending samples without a budget: the offline path,
 // where the Processor has idle time between sweeps.
-func (p *Processor) Poll() int { return p.PollBudget(0) }
+//
+// Deprecated: use Drain(DrainOptions{}).
+func (p *Processor) Poll() int { return p.Drain(DrainOptions{}).Points }
 
 // PollBudget runs one drain period with the sample budget one period
-// affords a single drain thread (0 = unlimited); the global token budget
-// is budget × parallelism, shared across all subsystem shards. It drains
-// each shard's share, transforms the batches, archives the points, and
-// returns the number of training points produced. Sustained oversubmission
-// overwrites ring entries (kernel path) or overflows the user queue, and
-// the pipeline's efficiency degrades under overload — the §6.2 dynamics
-// behind Fig. 6's peak-then-decline curve.
+// affords a single drain thread (0 = unlimited).
+//
+// Deprecated: use Drain(DrainOptions{Budget: budget}).
 func (p *Processor) PollBudget(budget int) int {
+	return p.Drain(DrainOptions{Budget: budget}).Points
+}
+
+// drainTally accumulates one drain thread's work for the post-join merge:
+// workers never touch shard stats directly, so the only cross-thread
+// synchronization on the drain path is the archive/flush handoff.
+type drainTally struct {
+	drained       [NumSubsystems]int64
+	decodeErrs    [NumSubsystems]int64
+	padded        [NumSubsystems]int64
+	truncated     [NumSubsystems]int64
+	points        [NumSubsystems]int64
+	kernelSamples int64
+	userSamples   int64
+	batches       int
+	produced      int
+	hist          [BatchHistBuckets]int64
+}
+
+// Drain runs one drain period over the per-CPU rings and returns what it
+// produced. Each modeled drain thread owns a disjoint set of CPU rings
+// (ring affinity: global ring index mod parallelism), the effective budget
+// is waterfilled over each thread's rings, and the threads run as real
+// goroutines — batched decode/transform/archive proceeds concurrently with
+// zero cross-thread ring-lock sharing. Sustained oversubmission overwrites
+// ring entries (kernel path) or overflows the user queue, and the
+// pipeline's efficiency degrades under overload — the §6.2 dynamics behind
+// Fig. 6's peak-then-decline curve.
+func (p *Processor) Drain(opts DrainOptions) DrainResult {
 	p.pollMu.Lock()
 	group := p.taskGroup()
 	parallelism := group.Size()
@@ -223,16 +353,25 @@ func (p *Processor) PollBudget(budget int) int {
 		group.Task(i).ChargeUserNS(pollBaseNS)
 	}
 
-	// Consistent per-ring snapshots: submitted/dropped/pending under one
-	// lock each, so period deltas cannot tear against concurrent submits.
+	// Consistent snapshots: per-subsystem aggregates for the period deltas
+	// and per-CPU ring stats for demand, so deltas cannot tear against
+	// concurrent submits.
 	var ringNow [NumSubsystems]bpf.RingStats
+	var cpuNow [NumSubsystems][]bpf.RingStats
 	cols := [NumSubsystems]*Collector{}
+	numCPUs := 1
 	for _, sub := range AllSubsystems {
 		if col := p.ts.CollectorFor(sub); col != nil {
 			cols[sub] = col
 			ringNow[sub] = col.Ring.Stats()
+			cpuNow[sub] = col.Ring.CPUStats()
+			if n := col.Ring.NumCPUs(); n > numCPUs {
+				numCPUs = n
+			}
 		}
 	}
+	numRings := numCPUs * int(NumSubsystems)
+	userIdx := numRings // user queue is the pseudo-ring after the last CPU ring
 
 	// Per-period deltas, demand, and the degraded effective budget.
 	var deltaSub, deltaDrop [NumSubsystems]int64
@@ -259,10 +398,10 @@ func (p *Processor) PollBudget(budget int) int {
 	userPending := len(p.userQueue)
 
 	globalBudget, effective := 0, 0
-	if budget > 0 {
+	if opts.Budget > 0 {
 		// Demand-aware efficiency: arrival rate since the last poll
 		// beyond the pipeline's capacity degrades it (queue thrash).
-		globalBudget = budget * parallelism
+		globalBudget = opts.Budget * parallelism
 		eff := float64(globalBudget)
 		if demand > int64(globalBudget) {
 			eff = float64(globalBudget) / (1 + 0.35*(float64(demand)/float64(globalBudget)-1))
@@ -276,19 +415,25 @@ func (p *Processor) PollBudget(budget int) int {
 	p.lastGlobalBudget, p.lastEffectiveBudget = globalBudget, effective
 	p.mu.Unlock()
 
-	// Token demand per shard: one token per pending kernel sample,
-	// userDrainPenalty tokens per pending user sample. Shards are
-	// distributed round-robin over the drain threads; each thread
-	// waterfills its own slice of the effective budget so no shard can
-	// exceed one thread's period capacity.
-	demands := make([]int, NumSubsystems+1)
+	// Token demand per ring: one token per pending kernel sample (capped
+	// per ring if requested), userDrainPenalty tokens per pending user
+	// sample. Each thread waterfills its own slice of the effective budget
+	// over the rings it owns, so no ring can exceed one thread's period
+	// capacity and no two threads compete for the same tokens.
+	demands := make([]int, numRings+1)
 	for _, sub := range AllSubsystems {
-		demands[sub] = ringNow[sub].Pending
+		for cpu, rs := range cpuNow[sub] {
+			d := rs.Pending
+			if opts.PerRingCap > 0 && d > opts.PerRingCap {
+				d = opts.PerRingCap
+			}
+			demands[globalRingIndex(cpu, sub, numCPUs)] = d
+		}
 	}
-	demands[userShard] = userPending * userDrainPenalty
+	demands[userIdx] = userPending * userDrainPenalty
 
-	alloc := make([]int, NumSubsystems+1)
-	if budget > 0 {
+	alloc := make([]int, numRings+1)
+	if opts.Budget > 0 {
 		perThread := make([]int, parallelism)
 		for i := range perThread {
 			perThread[i] = effective / parallelism
@@ -299,10 +444,10 @@ func (p *Processor) PollBudget(budget int) int {
 		for t := 0; t < parallelism; t++ {
 			var idx []int
 			var dem []int
-			for s := 0; s <= userShard; s++ {
-				if s%parallelism == t {
-					idx = append(idx, s)
-					dem = append(dem, demands[s])
+			for g := 0; g <= userIdx; g++ {
+				if ringOwner(g, parallelism) == t {
+					idx = append(idx, g)
+					dem = append(dem, demands[g])
 				}
 			}
 			for j, a := range waterfill(dem, perThread[t]) {
@@ -313,43 +458,92 @@ func (p *Processor) PollBudget(budget int) int {
 		copy(alloc, demands) // unlimited: drain everything
 	}
 
-	// Drain and process each shard as one batch on its drain thread.
-	produced := 0
-	for _, sub := range AllSubsystems {
-		if cols[sub] == nil || alloc[sub] == 0 {
-			continue
+	if opts.MaxBatches > 0 {
+		kept := 0
+		for g := 0; g < numRings; g++ {
+			if alloc[g] == 0 {
+				continue
+			}
+			kept++
+			if kept > opts.MaxBatches {
+				alloc[g] = 0
+			}
 		}
-		task := group.Task(int(sub) % parallelism)
-		bufs, n := cols[sub].Ring.DrainAppend(nil, alloc[sub])
-		if n == 0 {
-			continue
-		}
-		task.ChargeUserNS(int64(n) * processSampleNS)
-		produced += p.processBatch(bufs, p.shards[sub], sub, deltaSub[sub], deltaDrop[sub], int64(n))
 	}
 
-	// User-probe shard: tokens buy 1/userDrainPenalty samples each.
-	userSamples := alloc[userShard] / userDrainPenalty
-	if alloc[userShard] > 0 && userSamples == 0 && userPending > 0 {
-		userSamples = 1 // partial-token rounding; never starve the queue
+	// Affinity-sharded drain: one goroutine per modeled drain thread, each
+	// draining only the rings it owns into its own reusable batch buffer.
+	tallies := make([]drainTally, parallelism)
+	var wg sync.WaitGroup
+	for t := 0; t < parallelism; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			p.drainWorker(t, parallelism, numRings, &cols, alloc, &tallies[t])
+		}(t)
 	}
-	if userSamples > 0 {
-		var bufs [][]byte
-		p.mu.Lock()
-		if userSamples < len(p.userQueue) {
-			bufs = append(bufs, p.userQueue[:userSamples]...)
-			p.userQueue = append([][]byte(nil), p.userQueue[userSamples:]...)
-		} else {
-			bufs = p.userQueue
-			p.userQueue = nil
-		}
-		p.mu.Unlock()
-		if len(bufs) > 0 {
-			task := group.Task(userShard % parallelism)
-			task.ChargeUserNS(int64(len(bufs)) * processSampleNS * userDrainPenalty)
-			produced += p.processUserBatch(bufs)
+	wg.Wait()
+
+	// Charge virtual time after the join: Task charging shares the kernel's
+	// (unsynchronized, deterministic) noise stream, so it must run serially
+	// — and in subsystem order on each batch's owning thread, the same
+	// charge sequence the pre-affinity serial drain issued, so identical
+	// seeded runs consume the noise stream identically.
+	res := DrainResult{}
+	var hist [BatchHistBuckets]int64
+	for _, sub := range AllSubsystems {
+		for t := range tallies {
+			if n := tallies[t].drained[sub]; n > 0 {
+				group.Task(t).ChargeUserNS(n * processSampleNS)
+			}
 		}
 	}
+	for t := range tallies {
+		ty := &tallies[t]
+		if ty.userSamples > 0 {
+			group.Task(t).ChargeUserNS(ty.userSamples * processSampleNS * userDrainPenalty)
+		}
+		res.Points += ty.produced
+		res.Drained += int(ty.kernelSamples + ty.userSamples)
+		res.Batches += ty.batches
+		for b, c := range ty.hist {
+			hist[b] += c
+		}
+	}
+
+	// Merge the per-period tallies into the shard stats under each shard's
+	// own lock; this is the only place kernel-shard counters are written.
+	for _, sub := range AllSubsystems {
+		var drained, decErr, padded, truncated, points int64
+		for t := range tallies {
+			drained += tallies[t].drained[sub]
+			decErr += tallies[t].decodeErrs[sub]
+			padded += tallies[t].padded[sub]
+			truncated += tallies[t].truncated[sub]
+			points += tallies[t].points[sub]
+		}
+		if cols[sub] == nil && drained == 0 && deltaSub[sub] == 0 && deltaDrop[sub] == 0 {
+			continue
+		}
+		sh := p.shards[sub]
+		sh.mu.Lock()
+		sh.stats.Submitted += deltaSub[sub]
+		sh.stats.Dropped += deltaDrop[sub]
+		sh.stats.Drained += drained
+		sh.stats.DecodeErrors += decErr
+		sh.stats.PaddedFeatures += padded
+		sh.stats.TruncatedFeatures += truncated
+		sh.stats.Points += points
+		sh.stats.DeltaSubmitted = deltaSub[sub]
+		sh.stats.DeltaDropped = deltaDrop[sub]
+		sh.stats.DeltaDrained = drained
+		sh.mu.Unlock()
+	}
+	p.mu.Lock()
+	for b, c := range hist {
+		p.batchHist[b] += c
+	}
+	p.mu.Unlock()
 
 	if !p.ts.cfg.DisableProcessorFeedback {
 		p.applyFeedback(deltaSub, deltaDrop)
@@ -358,7 +552,76 @@ func (p *Processor) PollBudget(budget int) int {
 
 	// Sink delivery happens strictly outside every Processor lock.
 	p.flushSink()
-	return produced
+	return res
+}
+
+// drainWorker is one drain thread's share of a cycle: drain each owned CPU
+// ring into the thread's reusable batch, decode and archive the batch, and
+// (for the owner of the user pseudo-ring) drain the user-probe queue.
+// Everything it touches is either thread-owned (batch, tally, ring set) or
+// internally synchronized (archive shards, flush queue, user queue).
+func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsystems]*Collector, alloc []int, tally *drainTally) {
+	batch := &p.drainBatches[t]
+	numCPUs := numRings / int(NumSubsystems)
+	for g := t; g < numRings; g += parallelism {
+		if alloc[g] == 0 {
+			continue
+		}
+		sub := SubsystemID(g / numCPUs)
+		cpu := g % numCPUs
+		col := cols[sub]
+		if col == nil {
+			continue
+		}
+		batch.Reset()
+		n := col.Ring.DrainBatch(cpu, batch, alloc[g])
+		if n == 0 {
+			continue
+		}
+		tally.kernelSamples += int64(n)
+		tally.drained[sub] += int64(n)
+		tally.batches++
+		tally.hist[histBucket(n)]++
+
+		var adj featureAdjust
+		pts := make([]TrainingPoint, 0, n)
+		for i := 0; i < n; i++ {
+			out, err := p.transform(batch.Sample(i), &adj)
+			if err != nil {
+				tally.decodeErrs[sub]++
+				continue
+			}
+			pts = append(pts, out...)
+		}
+		p.archivePoints(pts)
+		tally.points[sub] += int64(len(pts))
+		tally.padded[sub] += adj.padded
+		tally.truncated[sub] += adj.truncated
+		tally.produced += len(pts)
+	}
+
+	// User-probe pseudo-ring: tokens buy 1/userDrainPenalty samples each.
+	if ringOwner(numRings, parallelism) != t || alloc[numRings] == 0 {
+		return
+	}
+	userSamples := alloc[numRings] / userDrainPenalty
+	if userSamples == 0 {
+		userSamples = 1 // partial-token rounding; never starve the queue
+	}
+	var bufs [][]byte
+	p.mu.Lock()
+	if userSamples < len(p.userQueue) {
+		bufs = append(bufs, p.userQueue[:userSamples]...)
+		p.userQueue = append([][]byte(nil), p.userQueue[userSamples:]...)
+	} else {
+		bufs = p.userQueue
+		p.userQueue = nil
+	}
+	p.mu.Unlock()
+	if len(bufs) > 0 {
+		tally.userSamples = int64(len(bufs))
+		tally.produced += p.processUserBatch(bufs)
+	}
 }
 
 // waterfill distributes tokens across shards in proportion to demand,
@@ -411,39 +674,6 @@ func waterfill(demands []int, tokens int) []int {
 		}
 	}
 	return alloc
-}
-
-// processBatch decodes and transforms one kernel shard's drained batch,
-// updating that shard's per-period counters.
-func (p *Processor) processBatch(bufs [][]byte, src *drainShard, sub SubsystemID, deltaSub, deltaDrop, drained int64) int {
-	produced := 0
-	var decodeErrs int64
-	var adj featureAdjust
-	var pts []TrainingPoint
-	for _, buf := range bufs {
-		out, err := p.transform(buf, &adj)
-		if err != nil {
-			decodeErrs++
-			continue
-		}
-		pts = append(pts, out...)
-	}
-	produced = len(pts)
-	p.archivePoints(pts)
-
-	src.mu.Lock()
-	src.stats.Submitted += deltaSub
-	src.stats.Dropped += deltaDrop
-	src.stats.Drained += drained
-	src.stats.DecodeErrors += decodeErrs
-	src.stats.PaddedFeatures += adj.padded
-	src.stats.TruncatedFeatures += adj.truncated
-	src.stats.Points += int64(produced)
-	src.stats.DeltaSubmitted = deltaSub
-	src.stats.DeltaDropped = deltaDrop
-	src.stats.DeltaDrained = drained
-	src.mu.Unlock()
-	return produced
 }
 
 // processUserBatch transforms drained user-probe samples; points land in
@@ -531,6 +761,20 @@ func (p *Processor) flushSink() {
 		p.mu.Unlock()
 		if len(batch) == 0 {
 			return
+		}
+		if bs, ok := p.sink.(BatchSink); ok {
+			// Batched fast path: one call per flush. A batch error counts
+			// against every point in the batch — the sink rejected the
+			// delivery as a unit.
+			if err := bs.WriteBatch(batch); err != nil {
+				for _, tp := range batch {
+					sh := p.shards[tp.Subsystem]
+					sh.mu.Lock()
+					sh.stats.SinkErrors++
+					sh.mu.Unlock()
+				}
+			}
+			continue
 		}
 		for _, tp := range batch {
 			if err := p.sink.Write(tp); err != nil {
@@ -684,6 +928,7 @@ func (p *Processor) Stats() ProcessorStats {
 			rs := col.Ring.Stats()
 			st.Kernel[sub].Submitted = rs.Submitted
 			st.Kernel[sub].Dropped = rs.Dropped
+			st.Rings[sub] = col.Ring.CPUStats()
 			st.Codegen[sub] = col.OptStats
 		}
 	}
@@ -696,6 +941,7 @@ func (p *Processor) Stats() ProcessorStats {
 	st.FlushQueueDrops = p.flushDrops
 	st.PendingFlush = len(p.pendingFlush)
 	st.Processed = p.processed
+	st.BatchSizeHist = p.batchHist
 	p.mu.Unlock()
 	st.Parallelism = p.Parallelism()
 	return st
@@ -733,33 +979,31 @@ func (p *Processor) PointsFor(sub SubsystemID) []TrainingPoint {
 }
 
 // Processed returns the total number of training points produced.
-func (p *Processor) Processed() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.processed
-}
+//
+// Deprecated: read Stats().Processed — the Stats snapshot is the single
+// source of truth for pipeline telemetry.
+func (p *Processor) Processed() int64 { return p.Stats().Processed }
 
 // DecodeErrors returns the number of undecodable samples seen.
+//
+// Deprecated: sum DecodeErrors over Stats().Kernel and Stats().User.
 func (p *Processor) DecodeErrors() int64 {
-	var n int64
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		n += sh.stats.DecodeErrors
-		sh.mu.Unlock()
+	st := p.Stats()
+	n := st.User.DecodeErrors
+	for _, k := range st.Kernel {
+		n += k.DecodeErrors
 	}
-	p.mu.Lock()
-	n += p.userStats.DecodeErrors
-	p.mu.Unlock()
 	return n
 }
 
 // SinkErrors returns the number of training points the sink rejected.
+//
+// Deprecated: sum SinkErrors over Stats().Kernel.
 func (p *Processor) SinkErrors() int64 {
+	st := p.Stats()
 	var n int64
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		n += sh.stats.SinkErrors
-		sh.mu.Unlock()
+	for _, k := range st.Kernel {
+		n += k.SinkErrors
 	}
 	return n
 }
@@ -796,4 +1040,5 @@ func (p *Processor) Reset() {
 	p.polls = 0
 	p.lastGlobalBudget, p.lastEffectiveBudget = 0, 0
 	p.feedbackActions = 0
+	p.batchHist = [BatchHistBuckets]int64{}
 }

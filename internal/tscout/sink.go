@@ -36,6 +36,24 @@ func NewCSVSink(w io.Writer) (*CSVSink, error) {
 func (s *CSVSink) Write(p TrainingPoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.writeLocked(p)
+}
+
+// WriteBatch implements BatchSink: the whole batch is written under one
+// lock acquisition, so a batching Processor pays the synchronization cost
+// once per flush rather than once per point.
+func (s *CSVSink) WriteBatch(pts []TrainingPoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range pts {
+		if err := s.writeLocked(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *CSVSink) writeLocked(p TrainingPoint) error {
 	m := p.Metrics
 	row := []string{
 		strconv.Itoa(int(p.OU)), p.OUName, p.Subsystem.String(), strconv.Itoa(p.PID),

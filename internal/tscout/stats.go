@@ -1,5 +1,7 @@
 package tscout
 
+import "tscout/internal/bpf"
+
 // SubsystemStats is one subsystem's slice of the Processor's self-observed
 // pipeline counters. Cumulative fields count since deployment (or the last
 // Reset); Delta fields cover the most recent drain period, which is what
@@ -68,6 +70,18 @@ type ProcessorStats struct {
 	// user-probe queue shard.
 	Kernel [NumSubsystems]SubsystemStats
 	User   SubsystemStats
+
+	// Rings holds each subsystem's per-CPU ring telemetry, indexed by CPU
+	// (nil in user modes or before Deploy). Submitted/drained/dropped are
+	// per individual ring, so a hot CPU shows up directly instead of being
+	// averaged away in the subsystem aggregate.
+	Rings [NumSubsystems][]bpf.RingStats
+
+	// BatchSizeHist counts non-empty drain batches by size bucket (see
+	// BatchHistLabels); a distribution stuck in the first bucket means the
+	// drain cadence is outrunning the arrival rate and the batched drain
+	// path is degenerating to per-sample cost.
+	BatchSizeHist [BatchHistBuckets]int64
 
 	// Codegen holds the per-subsystem Collector optimizer savings
 	// (Enabled=false everywhere when Config.OptimizeCollectors is off or

@@ -122,7 +122,9 @@ type Config struct {
 	// Mode is the collection strategy; the zero value is the paper's
 	// recommended Kernel-Continuous.
 	Mode Mode
-	// RingCapacity is the perf ring buffer size in samples (default 4096).
+	// RingCapacity is the per-CPU perf ring capacity in samples (default
+	// 4096): each subsystem gets one ring of this size per simulated CPU,
+	// so total buffering is RingCapacity × kernel CPUs per subsystem.
 	RingCapacity int
 	// Seed feeds the sampling-bit shuffle.
 	Seed int64
@@ -306,8 +308,11 @@ func (ts *TScout) Deploy() error {
 			if sub == nil {
 				continue
 			}
-			col, err := GenerateCollectorOpts(sub.id, sub.resources, ts.cfg.RingCapacity,
-				CodegenOptions{Optimize: ts.cfg.OptimizeCollectors})
+			col, err := GenerateCollector(sub.id, sub.resources, CollectorConfig{
+				NumCPUs:        ts.kernel.NumCPUs(),
+				PerCPUCapacity: ts.cfg.RingCapacity,
+				Optimize:       ts.cfg.OptimizeCollectors,
+			})
 			if err != nil {
 				return fmt.Errorf("tscout: codegen for %s: %w", sub.id, err)
 			}

@@ -48,7 +48,7 @@ func TestCodegenProgramsVerify(t *testing.T) {
 	// Every resource-set combination must produce verifiable programs.
 	for mask := 0; mask < 8; mask++ {
 		res := ResourceSet{CPU: mask&1 != 0, Disk: mask&2 != 0, Network: mask&4 != 0}
-		col, err := GenerateCollector(SubsystemExecutionEngine, res, 128)
+		col, err := GenerateCollector(SubsystemExecutionEngine, res, CollectorConfig{NumCPUs: 1, PerCPUCapacity: 128})
 		if err != nil {
 			t.Fatalf("resource set %+v: %v", res, err)
 		}
@@ -63,7 +63,7 @@ func TestCodegenProgramsVerify(t *testing.T) {
 
 func TestCodegenProgramSizesArePaperScale(t *testing.T) {
 	col, err := GenerateCollector(SubsystemExecutionEngine,
-		ResourceSet{CPU: true, Disk: true, Network: true}, 128)
+		ResourceSet{CPU: true, Disk: true, Network: true}, CollectorConfig{NumCPUs: 1, PerCPUCapacity: 128})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"tscout/internal/tscout"
@@ -28,7 +29,7 @@ func TestRunsAreDeterministic(t *testing.T) {
 	r1, p1 := run()
 	r2, p2 := run()
 
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("results differ across identical runs:\n%+v\n%+v", r1, r2)
 	}
 	if len(p1) != len(p2) {

@@ -120,7 +120,7 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		basePoints int64
 	)
 	if srv.TS != nil {
-		basePoints = srv.TS.Processor().Processed()
+		basePoints = srv.TS.Processor().Stats().Processed
 	}
 
 	finish := func(t *terminal, endNS int64) {
@@ -182,7 +182,7 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		// sleeps again — so collection capacity is paced by the poll
 		// schedule, as in a real periodic drain loop.
 		if srv.TS != nil && cfg.ProcessorPollNS > 0 && now-lastPoll >= cfg.ProcessorPollNS {
-			srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(cfg.ProcessorPollNS))
+			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(cfg.ProcessorPollNS)})
 			lastPoll = now
 		}
 
@@ -226,15 +226,15 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 			period = cfg.ProcessorPollNS
 		}
 		if cfg.FinalDrain {
-			srv.TS.Processor().Poll()
+			srv.TS.Processor().Drain(tscout.DrainOptions{})
 		} else {
-			srv.TS.Processor().PollBudget(tscout.BudgetForPeriod(period))
+			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(period)})
 		}
-		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints
 		res.Processor = srv.TS.Processor().Stats()
 	} else if srv.TS != nil {
-		srv.TS.Processor().Poll()
-		res.TrainingPoints = srv.TS.Processor().Processed() - basePoints
+		srv.TS.Processor().Drain(tscout.DrainOptions{})
+		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints
 		res.Processor = srv.TS.Processor().Stats()
 	}
 

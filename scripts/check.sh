@@ -9,6 +9,10 @@ go vet ./...
 go run ./internal/analysis/bpfcheck .
 go test -race -timeout 45m ./...
 
+# Single-shot smoke of the per-CPU drain benchmark: the batched drain path
+# must assemble and run at every thread/topology combination.
+go test -bench '^BenchmarkDrainPerCPUvsSingle$' -benchtime 1x -run xxx .
+
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
 # pattern per package invocation is a go test restriction).
 if [ "${FUZZ:-0}" = "1" ]; then
@@ -17,5 +21,6 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzVerifyThenRun$' -fuzztime "$fuzztime"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzOptimize$' -fuzztime "$fuzztime"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzRingbuf$' -fuzztime "$fuzztime"
+	go test ./internal/bpf -run '^$' -fuzz '^FuzzPerCPURing$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
 fi
