@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint test race bench bench-smoke chaos-smoke figures fuzz-smoke cover
 
-check: build lint race bench-smoke
+check: build lint race bench-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzRingbuf$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzPerCPURing$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzFaultSchedule$$' -fuzztime $(FUZZTIME)
 
 # Coverage with a per-package summary (baseline recorded in README.md).
 cover:
@@ -56,6 +57,13 @@ bench:
 # ring topologies (real throughput numbers need default -benchtime).
 bench-smoke:
 	$(GO) test -bench '^BenchmarkDrainPerCPUvsSingle$$' -benchtime 1x -run xxx .
+
+# Seed-corpus chaos runs: the full pipeline under deterministic fault
+# schedules (kills, migrations, wraparound, overflow bursts, drop/dup
+# delivery) at drain parallelism 1/2/4, asserting the exact accounting
+# identities. The fault-free baseline proves the harness injects no loss.
+chaos-smoke:
+	$(GO) test ./internal/tscout -run '^TestChaos' -count=1
 
 # Regenerate every figure at quick scale.
 figures:

@@ -138,6 +138,47 @@ func TestFormatProcessorStatsPerCPUSection(t *testing.T) {
 	}
 }
 
+func TestFormatProcessorStatsResilienceSection(t *testing.T) {
+	var st tscout.ProcessorStats
+	// All resilience counters zero: the section must not render, keeping
+	// the compact layout TestFormatProcessorStatsLayout pins down.
+	if out := formatProcessorStats(st); strings.Contains(out, "resilience") {
+		t.Fatalf("resilience section rendered for a healthy snapshot:\n%s", out)
+	}
+
+	st.Kernel[tscout.SubsystemExecutionEngine] = tscout.SubsystemStats{
+		CorruptDiscards: 3,
+		WrapClamps:      1,
+		Orphans: tscout.OrphanCounts{
+			BeginWithoutEnd: 4, EndWithoutBegin: 2,
+			TornMigration: 5, StaleReaped: 6,
+		},
+	}
+	st.Kernel[tscout.SubsystemLogSerializer] = tscout.SubsystemStats{
+		Orphans: tscout.OrphanCounts{TornMigration: 1},
+	}
+	st.User = tscout.SubsystemStats{WrapClamps: 2}
+	st.SinkRetries = 7
+	st.SinkRetryDrops = 1
+	st.PendingRetry = 9
+
+	out := formatProcessorStats(st)
+	if !strings.Contains(out, "resilience:") {
+		t.Fatalf("resilience section missing:\n%s", out)
+	}
+	// Orphans aggregate across subsystems; wrap clamps across kernel
+	// shards and the user queue.
+	for _, want := range []string{
+		"begin-no-end=4", "end-no-begin=2", "torn-migration=6", "stale-reaped=6",
+		"corrupt-discards=3", "wrap-clamps=3",
+		"sink-retries=7", "sink-retry-drops=1", "pending-retry=9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resilience section missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFormatProcessorStatsCodegenSection(t *testing.T) {
 	var st tscout.ProcessorStats
 	// Disabled everywhere: the codegen section must not render, keeping

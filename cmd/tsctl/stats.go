@@ -70,6 +70,29 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 		fmt.Fprintf(&b, "\n")
 	}
 
+	// Resilience telemetry (orphaned in-flight OUs, corrupt-metric
+	// discards, wraparound clamps, sink retries) only renders once any
+	// counter is nonzero: a healthy fault-free deployment keeps the
+	// compact layout, and a nonzero section is itself the signal that
+	// samples were lost to faults rather than archived.
+	orphans := st.TotalOrphans()
+	var wrapClamps int64
+	for i := range st.Kernel {
+		wrapClamps += st.Kernel[i].WrapClamps
+	}
+	wrapClamps += st.User.WrapClamps
+	resil := orphans.Total() + st.TotalCorruptDiscards() + wrapClamps +
+		st.SinkRetries + st.SinkRetryDrops + int64(st.PendingRetry)
+	if resil > 0 {
+		fmt.Fprintf(&b, "\nresilience:\n")
+		fmt.Fprintf(&b, "orphans: begin-no-end=%d end-no-begin=%d torn-migration=%d stale-reaped=%d\n",
+			orphans.BeginWithoutEnd, orphans.EndWithoutBegin,
+			orphans.TornMigration, orphans.StaleReaped)
+		fmt.Fprintf(&b, "corrupt-discards=%d wrap-clamps=%d sink-retries=%d sink-retry-drops=%d pending-retry=%d\n",
+			st.TotalCorruptDiscards(), wrapClamps,
+			st.SinkRetries, st.SinkRetryDrops, st.PendingRetry)
+	}
+
 	// Codegen savings only render when the optimizer ran, so deployments
 	// without it (and the zero-value snapshot) keep the compact layout.
 	optimized := false

@@ -32,6 +32,12 @@ const (
 	HelperGetArg = 12
 	// HelperTracePrintk: r1=value -> appends to the program's debug log.
 	HelperTracePrintk = 13
+	// HelperGetTaskGen: -> r0 = current task generation tag. Unlike the
+	// pid it is never reused, so gen-keyed Collector state cannot pair
+	// events across a pid recycle.
+	HelperGetTaskGen = 14
+	// HelperGetCPU: -> r0 = the CPU the task is currently running on.
+	HelperGetCPU = 15
 )
 
 // Parts readable through HelperReadCounter. The raw/enabled/running split
@@ -131,6 +137,8 @@ var helperSpecs = map[int64]HelperSpec{
 	HelperKtime:       {HelperKtime, "ktime_get_ns", nil, RetScalar, 4, true},
 	HelperGetArg:      {HelperGetArg, "get_tracepoint_arg", []ArgKind{ArgScalar}, RetScalar, 2, true},
 	HelperTracePrintk: {HelperTracePrintk, "trace_printk", []ArgKind{ArgScalar}, RetScalar, 40, false},
+	HelperGetTaskGen:  {HelperGetTaskGen, "get_task_gen", nil, RetScalar, 3, true},
+	HelperGetCPU:      {HelperGetCPU, "get_smp_processor_id", nil, RetScalar, 2, true},
 }
 
 // HelperByID returns the spec for a helper ID.

@@ -114,6 +114,21 @@ func (h *HashMap) Update(key, value []byte) error {
 	return nil
 }
 
+// Range calls fn for every entry under the map lock with a copy of the key
+// and the live value buffer; returning false stops the walk. It exists for
+// user-space sweeps over kernel-written state — the Collector reaper scans
+// in-flight OU entries for dead task generations. The iteration order is
+// unspecified; callers needing determinism must sort what they collect.
+func (h *HashMap) Range(fn func(key, value []byte) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k, v := range h.m {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
 // Delete removes key.
 func (h *HashMap) Delete(key []byte) bool {
 	if len(key) != h.keySize {
@@ -354,6 +369,20 @@ func (p *PerTaskMap) Update(key, value []byte) error {
 	}
 	copy(dst, value)
 	return nil
+}
+
+// Range calls fn for every existing slot under the map lock (keys are the
+// slot ids, values the live buffers); returning false stops the walk. Like
+// HashMap.Range it serves user-space maintenance sweeps, and fn must not
+// call back into the map.
+func (p *PerTaskMap) Range(fn func(key uint64, value []byte) bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range p.m {
+		if !fn(k, v) {
+			return
+		}
+	}
 }
 
 // Delete removes the PID's slot.

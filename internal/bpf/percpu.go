@@ -23,6 +23,7 @@ type cpuRing struct {
 	slots     [][]byte
 	head      int // index of oldest entry
 	count     int
+	high      int
 	submitted int64
 	drained   int64
 	dropped   int64
@@ -39,6 +40,9 @@ func (r *cpuRing) submit(data []byte) {
 		r.dropped++
 	} else {
 		r.count++
+		if r.count > r.high {
+			r.high = r.count
+		}
 	}
 	r.slots[slot] = append(r.slots[slot][:0], data...)
 	r.submitted++
@@ -69,6 +73,7 @@ func (r *cpuRing) stats() RingStats {
 		Drained:   r.drained,
 		Dropped:   r.dropped,
 		Pending:   r.count,
+		HighWater: r.high,
 		Capacity:  len(r.slots),
 	}
 }
@@ -78,7 +83,7 @@ func (r *cpuRing) reset() {
 	for i := range r.slots {
 		r.slots[i] = nil
 	}
-	r.head, r.count = 0, 0
+	r.head, r.count, r.high = 0, 0, 0
 	r.submitted, r.drained, r.dropped = 0, 0, 0
 	r.mu.Unlock()
 }
@@ -207,6 +212,11 @@ func (r *PerCPURing) Stats() RingStats {
 		agg.Drained += s.Drained
 		agg.Dropped += s.Dropped
 		agg.Pending += s.Pending
+		// HighWater aggregates as the peak of any single ring — summing
+		// peaks reached at different times would overstate occupancy.
+		if s.HighWater > agg.HighWater {
+			agg.HighWater = s.HighWater
+		}
 		agg.Capacity += s.Capacity
 	}
 	return agg

@@ -16,6 +16,7 @@ type PerfRingBuffer struct {
 	entries [][]byte
 	head    int // index of oldest entry
 	count   int
+	high    int
 
 	submitted int64
 	drained   int64
@@ -83,6 +84,9 @@ func (r *PerfRingBuffer) Submit(data []byte) {
 	}
 	r.entries[(r.head+r.count)%r.capacity] = cp
 	r.count++
+	if r.count > r.high {
+		r.high = r.count
+	}
 	r.submitted++
 }
 
@@ -153,6 +157,7 @@ type RingStats struct {
 	Drained   int64 // cumulative samples pulled out by the consumer
 	Dropped   int64 // cumulative overwrites
 	Pending   int   // samples currently buffered
+	HighWater int   // peak Pending since creation/Reset (overflow forensics)
 	Capacity  int
 }
 
@@ -165,6 +170,7 @@ func (r *PerfRingBuffer) Stats() RingStats {
 		Drained:   r.drained,
 		Dropped:   r.dropped,
 		Pending:   r.count,
+		HighWater: r.high,
 		Capacity:  r.capacity,
 	}
 }
@@ -188,6 +194,6 @@ func (r *PerfRingBuffer) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.entries = make([][]byte, r.capacity)
-	r.head, r.count = 0, 0
+	r.head, r.count, r.high = 0, 0, 0
 	r.submitted, r.drained, r.dropped = 0, 0, 0
 }

@@ -454,7 +454,10 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 		r := ec.task.Perf().Read(c)
 		switch ec.regs[R2] {
 		case CounterPartRaw:
-			ec.regs[R0] = uint64(r.Raw)
+			// Via int64 so a wrapped (negative-going) counter converts
+			// with modular semantics on every platform; float-to-uint64
+			// of a negative value is otherwise implementation-defined.
+			ec.regs[R0] = uint64(int64(r.Raw))
 		case CounterPartEnabled:
 			ec.regs[R0] = uint64(r.TimeEnabled * perfScale)
 		case CounterPartRunning:
@@ -490,6 +493,10 @@ func (lp *LoadedProgram) call(ec *execState, id int64) (int64, error) {
 		}
 	case HelperGetPID:
 		ec.regs[R0] = uint64(ec.task.PID)
+	case HelperGetTaskGen:
+		ec.regs[R0] = ec.task.Gen()
+	case HelperGetCPU:
+		ec.regs[R0] = uint64(ec.task.CPU())
 	case HelperKtime:
 		ec.regs[R0] = uint64(ec.task.Now())
 	case HelperGetArg:

@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// FaultKind enumerates the injectable failure modes of the marker delivery
+// path. Each kind models a hazard a real TScout deployment survives by
+// discarding-and-counting rather than by archiving corrupt samples: threads
+// dying between BEGIN and END, the scheduler migrating a task mid-OU,
+// hardware counters wrapping, rings overflowing under bursts, and marker
+// events being lost or delivered twice.
+type FaultKind int
+
+// Injectable fault kinds.
+const (
+	// FaultDropMarker suppresses one marker delivery entirely: the
+	// tracepoint records no hit and the attached Collector never runs
+	// (a lost perf event).
+	FaultDropMarker FaultKind = iota
+	// FaultDupMarker delivers one marker twice: two hits, two Collector
+	// executions with identical arguments (a replayed event).
+	FaultDupMarker
+	// FaultMigrate moves the hitting task to another CPU immediately
+	// before the marker is delivered, so a BEGIN taken on one CPU can be
+	// paired with an END read on another.
+	FaultMigrate
+	// FaultKillTask asks the workload driver to kill the hitting task
+	// after this marker: the task abandons any in-flight OU and exits,
+	// and its pid becomes reusable. The kernel cannot kill the task
+	// itself — task lifetime belongs to the driver — so the fault is
+	// surfaced through TakePendingKill.
+	FaultKillTask
+	// FaultCounterWrap rolls the hitting task's enabled perf counters
+	// backwards, so the next END reads a lower raw count than its BEGIN
+	// snapshot (a hardware counter overflow between the markers).
+	FaultCounterWrap
+	// FaultRingBurst asks the workload driver to run Count extra OU
+	// cycles back-to-back without draining, overflowing the bounded
+	// per-CPU rings (surfaced through TakePendingBurst).
+	FaultRingBurst
+
+	numFaultKinds
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDropMarker:
+		return "drop-marker"
+	case FaultDupMarker:
+		return "dup-marker"
+	case FaultMigrate:
+		return "migrate"
+	case FaultKillTask:
+		return "kill-task"
+	case FaultCounterWrap:
+		return "counter-wrap"
+	case FaultRingBurst:
+		return "ring-burst"
+	}
+	return fmt.Sprintf("fault-%d", int(k))
+}
+
+// counterWrapDelta is how far FaultCounterWrap rolls each enabled counter
+// back: far enough that the following END's unsigned delta computation
+// underflows into the absurd range the Processor discards.
+const counterWrapDelta = float64(uint64(1) << 44)
+
+// Fault is one scheduled fault: Kind fires when the injector's tracepoint
+// hit counter reaches AtHit (0-based, counted over attached-tracepoint hits
+// only). CPU parameterizes FaultMigrate (the destination, clamped into the
+// kernel's range); Count parameterizes FaultRingBurst.
+type Fault struct {
+	Kind  FaultKind
+	AtHit int64
+	CPU   int
+	Count int
+}
+
+// FaultPlan is a schedule of faults, ordered by AtHit. Plans are
+// deterministic: the same plan against the same workload injects the same
+// faults at the same delivery points.
+type FaultPlan []Fault
+
+// GenFaultPlan derives a reproducible fault plan from a seed: n faults of
+// pseudo-random kinds spread over the first maxHit marker deliveries.
+// numCPUs parameterizes migration targets. The same (seed, n, maxHit,
+// numCPUs) always yields the same plan — the property the chaos fuzzer's
+// corpus replay depends on.
+func GenFaultPlan(seed int64, n int, maxHit int64, numCPUs int) FaultPlan {
+	if n <= 0 || maxHit <= 0 {
+		return nil
+	}
+	if numCPUs < 1 {
+		numCPUs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := make(FaultPlan, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Kind:  FaultKind(rng.Intn(int(numFaultKinds))),
+			AtHit: rng.Int63n(maxHit),
+		}
+		switch f.Kind {
+		case FaultMigrate:
+			f.CPU = rng.Intn(numCPUs)
+		case FaultRingBurst:
+			f.Count = 1 + rng.Intn(8)
+		}
+		plan = append(plan, f)
+	}
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].AtHit < plan[j].AtHit })
+	return plan
+}
+
+// FaultInjector applies a FaultPlan to a kernel's marker delivery path.
+// Delivery-level faults (drop, dup, migrate, counter-wrap) are applied
+// inline by HitTracepoint; lifecycle faults (kill, ring burst) are queued
+// for the workload driver to take after the marker call returns. The
+// injector is synchronized, but deterministic schedules require the
+// workload itself to hit tracepoints in a deterministic order (the
+// Interleaver's job).
+type FaultInjector struct {
+	plan FaultPlan
+
+	mu           sync.Mutex
+	next         int
+	hits         int64
+	pendingKill  bool
+	pendingBurst int
+	applied      [numFaultKinds]int64
+}
+
+// NewFaultInjector creates an injector for a plan. Install it with
+// Kernel.SetFaultInjector.
+func NewFaultInjector(plan FaultPlan) *FaultInjector {
+	sorted := append(FaultPlan(nil), plan...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AtHit < sorted[j].AtHit })
+	return &FaultInjector{plan: sorted}
+}
+
+// beforeHit consumes every fault scheduled at the current hit index and
+// returns how many times the marker should be delivered (0 = dropped).
+// Inline faults are applied to the hitting task directly.
+func (fi *FaultInjector) beforeHit(t *Task) int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	hit := fi.hits
+	fi.hits++
+	times := 1
+	for fi.next < len(fi.plan) && fi.plan[fi.next].AtHit <= hit {
+		f := fi.plan[fi.next]
+		fi.next++
+		if f.AtHit < hit {
+			// The workload ended before this delivery point last time the
+			// counter passed it; skip rather than fire late. (Cannot happen
+			// with a monotonic counter, but keeps the loop total.)
+			continue
+		}
+		fi.applied[f.Kind]++
+		switch f.Kind {
+		case FaultDropMarker:
+			times = 0
+		case FaultDupMarker:
+			times = 2
+		case FaultMigrate:
+			t.Migrate(f.CPU)
+		case FaultKillTask:
+			fi.pendingKill = true
+		case FaultCounterWrap:
+			t.Perf().InjectWrap(counterWrapDelta)
+		case FaultRingBurst:
+			fi.pendingBurst += f.Count
+		}
+	}
+	return times
+}
+
+// Hits returns how many marker deliveries the injector has observed.
+func (fi *FaultInjector) Hits() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.hits
+}
+
+// Applied returns how many faults of a kind have fired.
+func (fi *FaultInjector) Applied(k FaultKind) int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if k < 0 || k >= numFaultKinds {
+		return 0
+	}
+	return fi.applied[k]
+}
+
+// TakePendingKill reports (and clears) a queued kill-task fault. The
+// workload driver polls it after each marker call and, when set, abandons
+// the task's in-flight OUs and calls Kernel.ExitTask.
+func (fi *FaultInjector) TakePendingKill() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	k := fi.pendingKill
+	fi.pendingKill = false
+	return k
+}
+
+// TakePendingBurst reports (and clears) the queued ring-burst OU count.
+func (fi *FaultInjector) TakePendingBurst() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	n := fi.pendingBurst
+	fi.pendingBurst = 0
+	return n
+}

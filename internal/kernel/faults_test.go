@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"tscout/internal/sim"
+)
+
+func testKernel() *Kernel {
+	return New(sim.LargeHW, 1, 0)
+}
+
+func TestGenFaultPlanDeterministic(t *testing.T) {
+	a := GenFaultPlan(42, 16, 1000, 4)
+	b := GenFaultPlan(42, 16, 1000, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("plan length = %d, want 16", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtHit < a[i-1].AtHit {
+			t.Fatalf("plan not sorted by AtHit: %v", a)
+		}
+	}
+	if GenFaultPlan(42, 0, 1000, 4) != nil {
+		t.Fatalf("n=0 should yield a nil plan")
+	}
+	c := GenFaultPlan(43, 16, 1000, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical plans")
+	}
+}
+
+func TestPIDReuseKeepsGenerationsDistinct(t *testing.T) {
+	k := testKernel()
+	t1 := k.NewTask("w1")
+	g1 := t1.Gen()
+	if g1 == 0 {
+		t.Fatalf("generation 0 assigned to a live task")
+	}
+	if !k.GenAlive(g1) {
+		t.Fatalf("fresh task's generation not alive")
+	}
+	k.ExitTask(t1)
+	if k.GenAlive(g1) {
+		t.Fatalf("exited task's generation still alive")
+	}
+	t2 := k.NewTask("w2")
+	if t2.PID != t1.PID {
+		t.Fatalf("pid not recycled: old %d new %d", t1.PID, t2.PID)
+	}
+	if t2.Gen() == g1 {
+		t.Fatalf("generation reused across pid recycle")
+	}
+	if !k.GenAlive(t2.Gen()) {
+		t.Fatalf("respawned task's generation not alive")
+	}
+	// Double exit is a no-op and must not free the pid twice.
+	k.ExitTask(t1)
+	t3 := k.NewTask("w3")
+	t4 := k.NewTask("w4")
+	if t3.PID == t4.PID {
+		t.Fatalf("double ExitTask freed pid twice: %d == %d", t3.PID, t4.PID)
+	}
+}
+
+func TestInjectorDropAndDupDeliveries(t *testing.T) {
+	k := testKernel()
+	tk := k.NewTask("w")
+	tp := k.Tracepoint("tp")
+	var runs int
+	tp.Attach(func(t *Task, args []uint64) int64 { runs++; return 0 })
+	fi := NewFaultInjector(FaultPlan{
+		{Kind: FaultDropMarker, AtHit: 1},
+		{Kind: FaultDupMarker, AtHit: 2},
+	})
+	k.SetFaultInjector(fi)
+	for i := 0; i < 4; i++ {
+		tk.HitTracepoint(tp, nil)
+	}
+	// 4 deliveries: normal, dropped, duplicated, normal = 1+0+2+1 runs.
+	if runs != 4 {
+		t.Fatalf("handler ran %d times, want 4", runs)
+	}
+	if got := tp.Hits.Load(); got != 4 {
+		t.Fatalf("tracepoint hits = %d, want 4", got)
+	}
+	if fi.Hits() != 4 {
+		t.Fatalf("injector observed %d deliveries, want 4", fi.Hits())
+	}
+	if fi.Applied(FaultDropMarker) != 1 || fi.Applied(FaultDupMarker) != 1 {
+		t.Fatalf("applied counts wrong: drop=%d dup=%d",
+			fi.Applied(FaultDropMarker), fi.Applied(FaultDupMarker))
+	}
+}
+
+func TestInjectorPendingKillAndBurst(t *testing.T) {
+	k := testKernel()
+	tk := k.NewTask("w")
+	tp := k.Tracepoint("tp")
+	tp.Attach(func(t *Task, args []uint64) int64 { return 0 })
+	fi := NewFaultInjector(FaultPlan{
+		{Kind: FaultKillTask, AtHit: 0},
+		{Kind: FaultRingBurst, AtHit: 1, Count: 3},
+		{Kind: FaultRingBurst, AtHit: 1, Count: 2},
+	})
+	k.SetFaultInjector(fi)
+	tk.HitTracepoint(tp, nil)
+	if !fi.TakePendingKill() {
+		t.Fatalf("kill fault not queued")
+	}
+	if fi.TakePendingKill() {
+		t.Fatalf("pending kill not cleared after take")
+	}
+	tk.HitTracepoint(tp, nil)
+	if n := fi.TakePendingBurst(); n != 5 {
+		t.Fatalf("pending burst = %d, want 5 (3+2 coalesced)", n)
+	}
+	if n := fi.TakePendingBurst(); n != 0 {
+		t.Fatalf("pending burst not cleared: %d", n)
+	}
+}
+
+func TestInjectorMigrateAndCounterWrap(t *testing.T) {
+	k := testKernel()
+	k.SetNumCPUs(4)
+	tk := k.NewTask("w")
+	tk.Perf().Enable(AllCounters...)
+	tk.Charge(sim.Work{Instructions: 1e6, BytesTouched: 1 << 16, WorkingSetBytes: 1 << 16})
+	before := tk.Perf().Read(CounterCycles).Raw
+	tp := k.Tracepoint("tp")
+	tp.Attach(func(t *Task, args []uint64) int64 { return 0 })
+	fi := NewFaultInjector(FaultPlan{
+		{Kind: FaultMigrate, AtHit: 0, CPU: 2},
+		{Kind: FaultCounterWrap, AtHit: 1},
+	})
+	k.SetFaultInjector(fi)
+	tk.HitTracepoint(tp, nil)
+	if tk.CPU() != 2 {
+		t.Fatalf("migrate fault left task on cpu %d, want 2", tk.CPU())
+	}
+	tk.HitTracepoint(tp, nil)
+	after := tk.Perf().Read(CounterCycles).Raw
+	// The wrap pulls the accumulated count down (to zero here, since the
+	// wrap delta far exceeds what one Charge accumulated); the CPU-2 base
+	// offset keeps the absolute reading large, so compare base-relative.
+	base := cpuCounterBase(2, CounterCycles)
+	if after-base >= before {
+		t.Fatalf("counter wrap did not roll the counter back: before=%g after(rel)=%g",
+			before, after-base)
+	}
+}
+
+func TestCPUCounterBaseCancelsInSameCPUDeltas(t *testing.T) {
+	k := testKernel()
+	k.SetNumCPUs(4)
+	// Two tasks running identical work on different CPUs must observe
+	// identical same-CPU raw deltas: the per-CPU base offset is constant
+	// within a CPU and exactly representable, so it cancels to the bit.
+	mk := func() *Task {
+		tk := k.NewTask("w")
+		tk.Perf().Enable(AllCounters...)
+		return tk
+	}
+	t0, t1 := mk(), mk()
+	if t0.CPU() == t1.CPU() {
+		t1.Migrate(t0.CPU() + 1)
+	}
+	w := sim.Work{Instructions: 5e5, BytesTouched: 1 << 14, WorkingSetBytes: 1 << 14}
+	run := func(tk *Task) float64 {
+		begin := tk.Perf().Read(CounterInstructions).Raw
+		tk.Charge(w)
+		return tk.Perf().Read(CounterInstructions).Raw - begin
+	}
+	d0, d1 := run(t0), run(t1)
+	if d0 != d1 {
+		t.Fatalf("same-CPU deltas differ across CPUs: %g vs %g", d0, d1)
+	}
+	// A cross-CPU difference is detectably absurd: the base offsets differ
+	// by at least 2^40 counts per CPU step.
+	b0 := t0.Perf().Read(CounterInstructions).Raw
+	t0.Migrate(t0.CPU() + 1)
+	cross := t0.Perf().Read(CounterInstructions).Raw - b0
+	if cross < float64(uint64(1)<<40) {
+		t.Fatalf("cross-CPU read differs by only %g, want >= 2^40", cross)
+	}
+}

@@ -28,9 +28,13 @@ type Kernel struct {
 
 	mu          sync.Mutex
 	nextPID     int
+	nextGen     uint64
+	freePIDs    []int
+	liveGens    map[uint64]bool
 	numCPUs     int
 	tracepoints map[string]*Tracepoint
 	loadFactor  float64
+	injector    *FaultInjector
 
 	// CtxSwitches counts context switches across all tasks (exposed for
 	// the overhead experiments).
@@ -53,6 +57,8 @@ func New(profile sim.HardwareProfile, seed int64, sigma float64) *Kernel {
 		Profile:     profile,
 		Noise:       sim.NewNoise(seed, sigma),
 		nextPID:     1,
+		nextGen:     1,
+		liveGens:    make(map[uint64]bool),
 		numCPUs:     1,
 		tracepoints: make(map[string]*Tracepoint),
 	}
@@ -107,21 +113,72 @@ func (k *Kernel) contentionMult() float64 {
 }
 
 // NewTask registers a new task (a DBMS worker thread) with the kernel.
+// Pids are recycled LIFO from exited tasks — the Linux behavior that makes
+// pid-keyed Collector state dangerous — while the generation tag is never
+// reused, so gen-keyed state stays unambiguous across reuse.
 func (k *Kernel) NewTask(name string) *Task {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	pid := k.nextPID
-	k.nextPID++
+	var pid int
+	if n := len(k.freePIDs); n > 0 {
+		pid = k.freePIDs[n-1]
+		k.freePIDs = k.freePIDs[:n-1]
+	} else {
+		pid = k.nextPID
+		k.nextPID++
+	}
+	gen := k.nextGen
+	k.nextGen++
+	k.liveGens[gen] = true
 	t := &Task{
 		PID: pid,
+		gen: gen,
 		// Deterministic round-robin placement stands in for the
 		// scheduler's initial CPU assignment; Migrate moves a task.
 		cpu:    (pid - 1) % k.numCPUs,
 		Name:   name,
 		kernel: k,
-		perf:   newPerfContext(k),
 	}
+	t.perf = newPerfContext(k, t)
 	return t
+}
+
+// ExitTask tears a task down: its generation goes dead (visible through
+// GenAlive, which the Collector's stale-entry reaper consults) and its pid
+// becomes immediately reusable by the next NewTask. Exiting an already-dead
+// task is a no-op.
+func (k *Kernel) ExitTask(t *Task) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.liveGens[t.gen] {
+		return
+	}
+	delete(k.liveGens, t.gen)
+	k.freePIDs = append(k.freePIDs, t.PID)
+}
+
+// GenAlive reports whether the task generation is still running. Gen 0 is
+// never alive (it is the zero value of an absent tag).
+func (k *Kernel) GenAlive(gen uint64) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.liveGens[gen]
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector on the
+// marker delivery path. Install before starting the workload: the injector's
+// hit counter starts at the moment of installation.
+func (k *Kernel) SetFaultInjector(fi *FaultInjector) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.injector = fi
+}
+
+// faultInjector returns the installed injector, if any.
+func (k *Kernel) faultInjector() *FaultInjector {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.injector
 }
 
 // Tracepoint returns the named tracepoint, creating it on first use.

@@ -61,6 +61,7 @@ type counterDeltas struct {
 // TimeRunning mimic the perf_event read format used for normalization.
 type PerfContext struct {
 	kernel *Kernel
+	task   *Task
 	// perTask marks counters attached in per-task mode, which the kernel
 	// must save and restore on every context switch. CPU-wide counters
 	// (the BPF Collector's access mode) have no switch cost — the root
@@ -74,16 +75,45 @@ type PerfContext struct {
 	timeRunning [numCounters]float64
 }
 
-func newPerfContext(k *Kernel) *PerfContext {
-	return &PerfContext{kernel: k}
+func newPerfContext(k *Kernel, t *Task) *PerfContext {
+	return &PerfContext{kernel: k, task: t}
+}
+
+// cpuCounterBase is the virtual counter context of one CPU: real CPU-wide
+// perf counters on different cores start from unrelated accumulated values,
+// so a snapshot taken on CPU A differenced against a read on CPU B measures
+// nothing. Each (cpu, counter) pair gets a distinct large integer offset —
+// an exact power-of-two multiple, so adding it to a raw float count and the
+// Collector's fixed-point normalization both stay exact, and same-CPU deltas
+// cancel it to the bit. Cross-CPU deltas are off by at least 2^40 counts,
+// which is what makes torn (migrated) samples detectable and what this
+// simulation uses to prove they never reach the archive.
+func cpuCounterBase(cpu int, c Counter) float64 {
+	return float64(cpu) * float64(uint64(1)<<40) * float64(c+1)
 }
 
 // Enable turns on the given counters. It does not itself charge syscall
 // cost; callers (the collection-mode implementations in tscout) charge the
 // appropriate number of syscalls or trap transitions.
+//
+// Counters with no accumulated history are seeded with one work unit of
+// enabled/running time at the post-enable duty cycle. A reading whose
+// TimeRunning is zero normalizes to zero (real perf semantics and the BPF
+// division guard alike), which would make a BEGIN snapshot taken before the
+// task's first charge disagree with the END read's multiplexing ratio — and
+// any cross-read ratio mismatch stops the per-CPU counter base from
+// cancelling in deltas. Seeding makes the ratio identical from the very
+// first read.
 func (pc *PerfContext) Enable(cs ...Counter) {
 	for _, c := range cs {
 		pc.enabled[c] = true
+	}
+	duty := pc.dutyCycle()
+	for _, c := range cs {
+		if pc.timeEnabled[c] == 0 {
+			pc.timeEnabled[c] = 1.0
+			pc.timeRunning[c] = duty
+		}
 	}
 }
 
@@ -186,9 +216,17 @@ func (r Reading) Normalized() float64 {
 // syscall per counter group; a kernel-space (BPF helper) read is free of
 // mode switches because the Collector is already in kernel mode.
 func (pc *PerfContext) Read(c Counter) Reading {
+	raw := pc.raw[c]
+	// CPU-wide counters (the Collector's mode) read the current CPU's
+	// virtual counter context: the task's accumulated count rides on top of
+	// that CPU's base offset. Per-task counters follow the task and have no
+	// per-CPU component.
+	if !pc.perTask && pc.task != nil {
+		raw += cpuCounterBase(pc.task.CPU(), c)
+	}
 	return Reading{
 		Counter:     c,
-		Raw:         pc.raw[c],
+		Raw:         raw,
 		TimeEnabled: pc.timeEnabled[c],
 		TimeRunning: pc.timeRunning[c],
 	}
@@ -201,6 +239,23 @@ func (pc *PerfContext) ReadAll(cs []Counter) []Reading {
 		out[i] = pc.Read(c)
 	}
 	return out
+}
+
+// InjectWrap rolls every enabled counter's accumulated count backwards by
+// delta, modeling a hardware counter overflow between two reads: the next
+// read observes a smaller raw value than an earlier snapshot, so unsigned
+// delta computations underflow. Counts never go below zero (the simulated
+// counter re-wraps at zero, the same observable effect).
+func (pc *PerfContext) InjectWrap(delta float64) {
+	for c := 0; c < int(numCounters); c++ {
+		if !pc.enabled[c] {
+			continue
+		}
+		pc.raw[c] -= delta
+		if pc.raw[c] < 0 {
+			pc.raw[c] = 0
+		}
+	}
 }
 
 // Reset clears accumulated counts (used between experiment trials).

@@ -30,6 +30,7 @@ type Task struct {
 	Name   string
 	kernel *Kernel
 	cpu    int
+	gen    uint64
 
 	Clock sim.Clock
 	perf  *PerfContext
@@ -61,6 +62,12 @@ func (t *Task) Migrate(cpu int) {
 	}
 	t.cpu = cpu % n
 }
+
+// Gen returns the task's generation tag: a kernel-wide monotonically
+// increasing id assigned at NewTask and never reused, unlike the pid. It is
+// the simulated stand-in for (pid, start_time) identity — the pair real
+// collectors need because bare pids recycle.
+func (t *Task) Gen() uint64 { return t.gen }
 
 // Perf returns the task's perf_event context.
 func (t *Task) Perf() *PerfContext { return t.perf }
@@ -189,16 +196,25 @@ func (t *Task) HitTracepoint(tp *Tracepoint, args []uint64) {
 	if h == nil {
 		return
 	}
-	tp.Hits.Add(1)
-	p := &t.kernel.Profile
-	enter := t.kernel.Noise.ApplyNS(p.ModeSwitchNS)
-	t.Clock.Advance(enter)
-	t.kernel.ModeSwitches.Add(1)
-	cost := h(t, args)
-	if cost > 0 {
-		t.Clock.Advance(cost)
+	// An installed fault injector may drop this delivery (the hit never
+	// happens, as with a lost perf event), duplicate it, or perturb the
+	// task (migration, counter wrap) before the handler runs.
+	times := 1
+	if fi := t.kernel.faultInjector(); fi != nil {
+		times = fi.beforeHit(t)
 	}
-	t.KernelInstrumentationNS += enter + cost
+	p := &t.kernel.Profile
+	for i := 0; i < times; i++ {
+		tp.Hits.Add(1)
+		enter := t.kernel.Noise.ApplyNS(p.ModeSwitchNS)
+		t.Clock.Advance(enter)
+		t.kernel.ModeSwitches.Add(1)
+		cost := h(t, args)
+		if cost > 0 {
+			t.Clock.Advance(cost)
+		}
+		t.KernelInstrumentationNS += enter + cost
+	}
 }
 
 // ChargeUserNS charges plain user-space bookkeeping time (sampling checks,

@@ -1,0 +1,249 @@
+package tscout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tscout/internal/kernel"
+	"tscout/internal/sim"
+)
+
+// This file is the chaos harness: the full marker → Collector → ring →
+// Processor pipeline driven under seeded fault schedules (dropped and
+// duplicated marker deliveries, mid-OU kills, migrations, counter
+// wraparound, ring-overflow bursts) at drain parallelism 1, 2, and 4.
+// After the rings are fully drained and every task has exited, two exact
+// accounting identities must hold per kernel subsystem:
+//
+//	begins    == submitted + BeginWithoutEnd + TornMigration + StaleReaped
+//	submitted == archived + ring drops + decode errors + corrupt discards
+//
+// Every BEGIN the kernel delivered ends in exactly one bucket; every
+// submitted sample ends in exactly one bucket. No loss is silent, no loss
+// is double-counted — under any fault schedule in the corpus.
+
+// chaosSeeds are the seed-corpus fault schedules the chaos tests run under;
+// FuzzFaultSchedule seeds its corpus from the same values.
+var chaosSeeds = []int64{1, 7, 42, 1337}
+
+// chaosConfig sizes one chaos run.
+type chaosConfig struct {
+	seed     int64
+	par      int // drain-thread parallelism
+	ous      int // workload OU cycles
+	faults   int // faults in the generated plan
+	numCPUs  int
+	ringCap  int // small, so overflow bursts actually overflow
+	drainEvr int // budgeted drain every N cycles
+}
+
+// runChaos drives one seeded chaos run to quiescence and returns the
+// deployment for assertions.
+func runChaos(tb testing.TB, cfg chaosConfig) (*TScout, *kernel.FaultInjector) {
+	tb.Helper()
+	k := kernel.New(sim.LargeHW, cfg.seed, 0)
+	k.SetNumCPUs(cfg.numCPUs)
+	plan := kernel.GenFaultPlan(cfg.seed, cfg.faults, int64(3*cfg.ous), cfg.numCPUs)
+	fi := kernel.NewFaultInjector(plan)
+	k.SetFaultInjector(fi)
+
+	ts := New(k, Config{
+		Seed:                     cfg.seed,
+		RingCapacity:             cfg.ringCap,
+		ProcessorParallelism:     cfg.par,
+		DisableProcessorFeedback: true,
+	})
+	scan := ts.MustRegisterOU(OUDef{
+		ID: testOUSeqScan, Name: "seq_scan", Subsystem: SubsystemExecutionEngine,
+		Features: []string{"num_rows", "row_bytes"},
+	}, ResourceSet{CPU: true, Disk: true})
+	wal := ts.MustRegisterOU(OUDef{
+		ID: testOUWAL, Name: "log_serialize", Subsystem: SubsystemLogSerializer,
+		Features: []string{"num_records", "bytes"},
+	}, ResourceSet{CPU: true, Disk: true})
+	if err := ts.Deploy(); err != nil {
+		tb.Fatalf("deploy: %v", err)
+	}
+	ts.Sampler().SetAllRates(100)
+	p := ts.Processor()
+
+	rng := rand.New(rand.NewSource(cfg.seed * 31))
+	tasks := []*kernel.Task{k.NewTask("w0"), k.NewTask("w1"), k.NewTask("w2")}
+	markers := []*Marker{scan, wal}
+
+	for i := 0; i < cfg.ous; i++ {
+		task := tasks[rng.Intn(len(tasks))]
+		m := markers[rng.Intn(len(markers))]
+		runOU(ts, task, m, sim.Work{Instructions: float64(500 + rng.Intn(2000))},
+			uint64(rng.Intn(100)), uint64(rng.Intn(8)))
+
+		if fi.TakePendingKill() {
+			// Kill a task mid-OU: BEGIN lands, END and FEATURES never do.
+			vi := rng.Intn(len(tasks))
+			v := tasks[vi]
+			ts.BeginEvent(v, SubsystemExecutionEngine)
+			scan.Begin(v)
+			k.ExitTask(v)
+			// Respawn (recycling the pid) and warm the fresh task up
+			// before its first marker.
+			nt := k.NewTask("respawn")
+			nt.Charge(sim.Work{Instructions: 200})
+			tasks[vi] = nt
+		}
+		if n := fi.TakePendingBurst(); n > 0 {
+			// Ring-overflow burst: a spurt of OUs with no drain between
+			// them, overwhelming the small per-CPU rings.
+			bt := tasks[rng.Intn(len(tasks))]
+			for j := 0; j < n*cfg.ringCap; j++ {
+				runOU(ts, bt, scan, sim.Work{Instructions: 100}, uint64(j), 1)
+			}
+		}
+		if cfg.drainEvr > 0 && i%cfg.drainEvr == cfg.drainEvr-1 {
+			p.Drain(DrainOptions{Budget: 8})
+		}
+	}
+
+	// Quiesce: every task exits (so mid-OU leftovers become reapable),
+	// then unbudgeted drains empty the rings and run the reaper.
+	for _, task := range tasks {
+		k.ExitTask(task)
+	}
+	for i := 0; i < 3; i++ {
+		p.Drain(DrainOptions{})
+	}
+	return ts, fi
+}
+
+// assertChaosIdentities checks both exact accounting identities plus
+// archive seq-monotonicity, and returns the total orphan count.
+func assertChaosIdentities(tb testing.TB, ts *TScout) OrphanCounts {
+	tb.Helper()
+	p := ts.Processor()
+	st := p.Stats()
+	var orphans OrphanCounts
+	for _, sub := range AllSubsystems {
+		col := ts.CollectorFor(sub)
+		if col == nil {
+			continue
+		}
+		rs := col.Ring.Stats()
+		if rs.Pending != 0 {
+			tb.Fatalf("%s: ring still holds %d samples after quiescence", sub, rs.Pending)
+		}
+		ks := st.Kernel[sub]
+		begins := ts.subsystems[sub].beginTP.Hits.Load()
+		// Identity 1: every delivered BEGIN is submitted or orphaned.
+		// EndWithoutBegin is excluded — those ENDs have no BEGIN to account.
+		inFlight := ks.Orphans.BeginWithoutEnd + ks.Orphans.TornMigration + ks.Orphans.StaleReaped
+		if begins != rs.Submitted+inFlight {
+			tb.Fatalf("%s begin identity: %d begins != %d submitted + %d orphaned (%+v)",
+				sub, begins, rs.Submitted, inFlight, ks.Orphans)
+		}
+		// Identity 2: every submitted sample is archived or counted lost.
+		if rs.Submitted != ks.Points+rs.Dropped+ks.DecodeErrors+ks.CorruptDiscards {
+			tb.Fatalf("%s submit identity: submitted %d != points %d + dropped %d + decode %d + corrupt %d",
+				sub, rs.Submitted, ks.Points, rs.Dropped, ks.DecodeErrors, ks.CorruptDiscards)
+		}
+		if ks.DecodeErrors != 0 {
+			tb.Fatalf("%s: Collector emitted %d undecodable samples", sub, ks.DecodeErrors)
+		}
+		orphans.Add(ks.Orphans)
+
+		// No archived point may carry a cross-CPU base offset or wrapped
+		// delta: that corruption must have been torn/discarded upstream.
+		for _, tp := range p.PointsFor(sub) {
+			if tp.Metrics.Cycles >= 1<<40 || tp.Metrics.Instructions >= 1<<40 {
+				tb.Fatalf("%s: corrupt sample reached the archive: %+v", sub, tp.Metrics)
+			}
+		}
+	}
+
+	// Seq-monotonicity (the PR-2 ordering contract) must survive chaos:
+	// strictly increasing per shard, globally unique.
+	seen := map[uint64]bool{}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		last := uint64(0)
+		for _, e := range sh.archive {
+			if e.seq <= last {
+				sh.mu.Unlock()
+				tb.Fatalf("shard archive seq not strictly increasing: %d after %d", e.seq, last)
+			}
+			if seen[e.seq] {
+				sh.mu.Unlock()
+				tb.Fatalf("duplicate archive seq %d", e.seq)
+			}
+			seen[e.seq] = true
+			last = e.seq
+		}
+		sh.mu.Unlock()
+	}
+	return orphans
+}
+
+// TestChaosPipelineIdentity runs every seed-corpus fault schedule at drain
+// parallelism 1, 2, and 4 and asserts the exact accounting identities.
+func TestChaosPipelineIdentity(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		for _, par := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("seed=%d/threads=%d", seed, par), func(t *testing.T) {
+				ts, fi := runChaos(t, chaosConfig{
+					seed: seed, par: par, ous: 400, faults: 48,
+					numCPUs: 4, ringCap: 16, drainEvr: 25,
+				})
+				orphans := assertChaosIdentities(t, ts)
+				// The schedule must actually have exercised faults, and the
+				// fault classes must be visible in the orphan accounting.
+				if fi.Hits() == 0 {
+					t.Fatalf("fault injector never saw a marker hit")
+				}
+				if fi.Applied(kernel.FaultKillTask) > 0 && orphans.StaleReaped == 0 {
+					t.Fatalf("kills injected but no StaleReaped orphans")
+				}
+				var applied int64
+				for k := kernel.FaultKind(0); k < kernel.FaultKind(6); k++ {
+					applied += fi.Applied(k)
+				}
+				if applied == 0 {
+					t.Fatalf("no faults applied by schedule seed=%d", seed)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCleanScheduleBaseline: the chaos driver with an empty fault plan
+// must produce zero orphans — the harness itself injects no loss.
+func TestChaosCleanScheduleBaseline(t *testing.T) {
+	ts, _ := runChaos(t, chaosConfig{
+		seed: 3, par: 2, ous: 200, faults: 0,
+		numCPUs: 2, ringCap: 4096, drainEvr: 0,
+	})
+	orphans := assertChaosIdentities(t, ts)
+	if got := orphans.Total(); got != 0 {
+		t.Fatalf("fault-free chaos run produced %d orphans: %+v", got, orphans)
+	}
+	st := ts.Processor().Stats()
+	if st.TotalCorruptDiscards() != 0 {
+		t.Fatalf("fault-free run discarded %d samples as corrupt", st.TotalCorruptDiscards())
+	}
+}
+
+// FuzzFaultSchedule feeds arbitrary (seed, fault-count, parallelism)
+// triples through the chaos driver: whatever schedule GenFaultPlan
+// produces, the accounting identities must hold exactly.
+func FuzzFaultSchedule(f *testing.F) {
+	for _, seed := range chaosSeeds {
+		f.Add(seed, uint8(24), uint8(1))
+	}
+	f.Add(int64(-9), uint8(0), uint8(2))
+	f.Add(int64(123456789), uint8(255), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, faults, parSel uint8) {
+		ts, _ := runChaos(t, chaosConfig{
+			seed: seed, par: 1 + int(parSel%4), ous: 120, faults: int(faults),
+			numCPUs: 1 + int(uint64(seed)%4), ringCap: 16, drainEvr: 20,
+		})
+		assertChaosIdentities(t, ts)
+	})
+}

@@ -87,19 +87,46 @@ func CollectorPrograms(sub SubsystemID, res ResourceSet) []NamedProgram {
 	}
 }
 
-// Collector entry layout (12 u64 words): the OU invocation record pushed
+// Collector entry layout (13 u64 words): the OU invocation record pushed
 // at BEGIN and completed at END.
 const (
-	entWords   = 12
+	entWords   = 13
 	entBytes   = entWords * 8
 	entOU      = 0  // OU id
-	entState   = 1  // 0 = begun, 1 = ended
+	entState   = 1  // see entState* below
 	entElapsed = 2  // begin ktime, replaced by elapsed at END
 	entCounter = 3  // 5 words: normalized counters
 	entIOACR   = 8  // ioac read bytes
 	entIOACW   = 9  // ioac write bytes
 	entSockR   = 10 // socket bytes received
 	entSockS   = 11 // socket bytes sent
+	entCPU     = 12 // CPU the BEGIN snapshot was taken on
+)
+
+// entState values. Torn entries are END's verdict that the task migrated
+// mid-OU: the BEGIN snapshot and the END read come from different per-CPU
+// counter contexts, so no delta is computed; FEATURES pops the entry into
+// the TornMigration orphan bucket instead of submitting a corrupt sample.
+const (
+	entStateBegun = 0
+	entStateEnded = 1
+	entStateTorn  = 2
+)
+
+// Error/orphan counter slots in the Collector's errors array map. Slots
+// written by the generated programs (everything except slotStaleReaped) are
+// only ever touched from marker context — the task hitting the tracepoint —
+// while slotStaleReaped belongs to the user-space reaper running under the
+// Processor's poll lock. The disjoint writers are what make a plain array
+// map safe here.
+const (
+	slotViolations      = 0 // marker state-machine violations (paper §5.1)
+	slotBeginWithoutEnd = 1 // begun entries discarded before completing
+	slotTornMigration   = 2 // entries torn by mid-OU CPU migration
+	slotStaleReaped     = 3 // entries reaped after their task died
+	slotEarlyErrors     = 4 // depth-slot lookup failures (unreachable)
+	slotEndWithoutBegin = 5 // END markers arriving with no OU in flight
+	numErrorSlots       = 6
 )
 
 // Stack frame offsets shared by the generated programs.
@@ -107,12 +134,14 @@ const (
 	offKey     = -8  // map key scratch
 	offScratch = -16 // normalization scratch (enabled)
 	offScratc2 = -24 // normalization scratch (running)
-	offEntry   = -120
+	offGen     = -32 // task generation spill (error paths rebuild keys from it)
+	offEntry   = -136
 	// The FEATURES program builds the outgoing sample at offSample; the
 	// sample is always submitted at its maximum size with nFeatures
 	// indicating how many feature words are valid (the verifier requires
-	// a compile-time-constant perf_event_output size).
-	offSample = -256 - 48 // leave headroom below the key/scratch slots
+	// a compile-time-constant perf_event_output size). It overlaps the
+	// BEGIN/END-only entry scratch area; FEATURES never touches offEntry.
+	offSample = -256 - 48
 )
 
 // counterOrder fixes the mapping from entry counter words to counters.
@@ -130,7 +159,7 @@ func collectorSkeleton(sub SubsystemID, res ResourceSet, numCPUs, perCPUCap int)
 		Ring:      bpf.NewPerCPURing("tscout/"+sub.String()+"/ring", numCPUs, perCPUCap),
 		entries:   bpf.NewHashMap("tscout/"+sub.String()+"/entries", 8, entBytes, 4096),
 		depth:     bpf.NewPerTaskMap("tscout/"+sub.String()+"/depth", 8),
-		errors:    bpf.NewArrayMap("tscout/"+sub.String()+"/errors", 8, 1),
+		errors:    bpf.NewArrayMap("tscout/"+sub.String()+"/errors", 8, numErrorSlots),
 	}
 }
 
@@ -189,23 +218,131 @@ func (c *Collector) Attach(begin, end, features *kernel.Tracepoint) {
 	c.Features.Attach(features)
 }
 
-// ErrorCount returns marker state-machine violations detected in kernel
-// space (paper §5.1).
-func (c *Collector) ErrorCount() int64 {
-	v := c.errors.Lookup(bpf.U64Key(0))
+// errorSlot reads one counter slot from the errors array map.
+func (c *Collector) errorSlot(slot uint64) int64 {
+	v := c.errors.Lookup(bpf.U64Key(slot))
 	if v == nil {
 		return 0
 	}
 	return int64(bpf.U64(v))
 }
 
-// prologue emits the shared preamble: R6 = pid, R7 = per-task depth slot
-// pointer, R8 = depth. errLabel receives control when the depth slot
+// addToErrorSlot bumps a counter slot from user space. Only the reaper uses
+// it, and only for slotStaleReaped — the generated programs own the other
+// slots, and the writer partition is what keeps the lockless array map safe.
+func (c *Collector) addToErrorSlot(slot uint64, n int64) {
+	v := c.errors.Lookup(bpf.U64Key(slot))
+	if v == nil || n == 0 {
+		return
+	}
+	bpf.PutU64(v, bpf.U64(v)+uint64(n))
+}
+
+// ErrorCount returns marker state-machine violations detected in kernel
+// space (paper §5.1). Orphan-class counters are separate — an orphan is a
+// correctly-detected loss, not a protocol violation.
+func (c *Collector) ErrorCount() int64 {
+	return c.errorSlot(slotViolations) + c.errorSlot(slotEarlyErrors)
+}
+
+// OrphanCounts breaks out the OU invocations that were detected as lost or
+// corrupt and discarded in kernel space rather than archived. Every begun
+// entry ends in exactly one of: a submitted sample, BeginWithoutEnd,
+// TornMigration, or StaleReaped — the accounting identity the chaos harness
+// asserts.
+type OrphanCounts struct {
+	// BeginWithoutEnd counts begun OU entries discarded before an END
+	// completed them: marker-state resets that tore down in-flight
+	// entries, BEGIN pushes the entries map rejected, and depth-overflow
+	// BEGINs that never pushed at all.
+	BeginWithoutEnd int64
+	// EndWithoutBegin counts END markers that arrived with no OU in
+	// flight (a dropped or never-recorded BEGIN).
+	EndWithoutBegin int64
+	// TornMigration counts OU entries whose task migrated CPUs between
+	// BEGIN and END: the two per-CPU counter contexts are unrelated, so
+	// the sample is discarded instead of archived with absurd deltas.
+	TornMigration int64
+	// StaleReaped counts in-flight entries reaped after their task
+	// generation died mid-OU (kill between BEGIN and FEATURES).
+	StaleReaped int64
+}
+
+// Total sums every orphan class.
+func (o OrphanCounts) Total() int64 {
+	return o.BeginWithoutEnd + o.EndWithoutBegin + o.TornMigration + o.StaleReaped
+}
+
+// Add accumulates other into o.
+func (o *OrphanCounts) Add(other OrphanCounts) {
+	o.BeginWithoutEnd += other.BeginWithoutEnd
+	o.EndWithoutBegin += other.EndWithoutBegin
+	o.TornMigration += other.TornMigration
+	o.StaleReaped += other.StaleReaped
+}
+
+// Orphans returns the Collector's orphan-class counters.
+func (c *Collector) Orphans() OrphanCounts {
+	return OrphanCounts{
+		BeginWithoutEnd: c.errorSlot(slotBeginWithoutEnd),
+		EndWithoutBegin: c.errorSlot(slotEndWithoutBegin),
+		TornMigration:   c.errorSlot(slotTornMigration),
+		StaleReaped:     c.errorSlot(slotStaleReaped),
+	}
+}
+
+// ReapStale sweeps the in-flight entries map for OUs begun by task
+// generations that are no longer alive and deletes them into the
+// StaleReaped orphan bucket, along with the dead generations' depth slots.
+// A reused pid never resurrects a dead task's entry: entries are keyed by
+// generation, and the reaper is what retires them. Callers serialize reaps
+// (the Processor runs it under its poll lock) and alive must be safe to
+// call from that context.
+func (c *Collector) ReapStale(alive func(gen uint64) bool) int64 {
+	if alive == nil {
+		return 0
+	}
+	var stale [][]byte
+	c.entries.Range(func(key, _ []byte) bool {
+		if !alive(bpf.U64(key) >> 8) {
+			k := make([]byte, len(key))
+			copy(k, key)
+			stale = append(stale, k)
+		}
+		return true
+	})
+	var reaped int64
+	for _, k := range stale {
+		if c.entries.Delete(k) {
+			reaped++
+		}
+	}
+	var deadGens []uint64
+	c.depth.Range(func(gen uint64, _ []byte) bool {
+		if !alive(gen) {
+			deadGens = append(deadGens, gen)
+		}
+		return true
+	})
+	for _, g := range deadGens {
+		c.depth.Delete(bpf.U64Key(g))
+	}
+	c.addToErrorSlot(slotStaleReaped, reaped)
+	return reaped
+}
+
+// prologue emits the shared preamble: R6 = task generation, R7 = per-task
+// depth slot pointer, R8 = depth, with the generation also spilled to
+// offGen so error paths can rebuild entry keys after R6 is repurposed.
+// Collector state is keyed by generation, not pid: pids recycle, and a new
+// task reusing a dead task's pid must never pair its markers with the dead
+// task's in-flight entries. errLabel receives control when the depth slot
 // lookup fails (cannot happen at runtime for a per-task map, but the
 // verifier rightly demands the check).
 func (c *Collector) prologue(b *bpf.Builder, depthIdx int, errLabel string) {
-	b.Call(bpf.HelperGetPID).
+	b.Call(bpf.HelperGetTaskGen).
 		MovReg(bpf.R6, bpf.R0).
+		Store(bpf.R10, offGen, bpf.R6).
 		Store(bpf.R10, offKey, bpf.R6).
 		LoadMapPtr(bpf.R1, depthIdx).
 		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
@@ -215,7 +352,7 @@ func (c *Collector) prologue(b *bpf.Builder, depthIdx int, errLabel string) {
 		Load(bpf.R8, bpf.R7, 0)
 }
 
-// emitEntryKey computes the entries-map key (pid<<8 | depth+adjust) into
+// emitEntryKey computes the entries-map key (gen<<8 | depth+adjust) into
 // R9 and spills it to the key slot.
 func emitEntryKey(b *bpf.Builder, adjust int64) {
 	b.MovReg(bpf.R9, bpf.R6).
@@ -277,25 +414,76 @@ func (c *Collector) emitProbeSnapshot(b *bpf.Builder, base int32) {
 	}
 }
 
-// emitErrorEpilogue emits the shared error/reset tail (paper §5.1): bump
-// the error counter, and for the labels reached after the depth pointer is
-// live, reset the depth to zero, discarding intermediate results.
-func (c *Collector) emitErrorEpilogue(b *bpf.Builder, errIdx int, haveDepthPtr bool,
-	errLabel, doneLabel string) {
-	b.Label(errLabel)
-	if haveDepthPtr {
-		b.Mov(bpf.R3, 0).Store(bpf.R7, 0, bpf.R3)
-	}
-	b.StoreImm(bpf.R10, offKey, 0).
+// emitSlotAddReg emits "errors[slot] += R6" (R6 must hold the amount; the
+// key scratch slot is clobbered). skipLabel must be unique per call site.
+func emitSlotAddReg(b *bpf.Builder, errIdx int, slot int64, skipLabel string) {
+	b.StoreImm(bpf.R10, offKey, slot).
 		LoadMapPtr(bpf.R1, errIdx).
 		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
 		Call(bpf.HelperMapLookup).
-		Jeq(bpf.R0, 0, doneLabel).
+		Jeq(bpf.R0, 0, skipLabel).
+		Load(bpf.R3, bpf.R0, 0).
+		AddReg(bpf.R3, bpf.R6).
+		Store(bpf.R0, 0, bpf.R3).
+		Label(skipLabel)
+}
+
+// emitSlotInc emits "errors[slot] += 1" (clobbers the key scratch slot).
+// skipLabel must be unique per call site.
+func emitSlotInc(b *bpf.Builder, errIdx int, slot int64, skipLabel string) {
+	b.StoreImm(bpf.R10, offKey, slot).
+		LoadMapPtr(bpf.R1, errIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapLookup).
+		Jeq(bpf.R0, 0, skipLabel).
 		Load(bpf.R3, bpf.R0, 0).
 		Add(bpf.R3, 1).
 		Store(bpf.R0, 0, bpf.R3).
-		Label(doneLabel).
-		Mov(bpf.R0, 1).
+		Label(skipLabel)
+}
+
+// emitResetEpilogue emits the marker-state-machine reset tail (paper §5.1):
+// zero the per-task depth, delete every in-flight entry the task's
+// generation may have stacked (each deleted entry is a begun OU that will
+// now never complete, counted into the BeginWithoutEnd orphan bucket along
+// with extraOrphans for callers whose erroring marker itself abandoned a
+// BEGIN), and bump the violations counter. The old code reset the depth but
+// leaked the stacked entries in the map — with gen-keyed entries nothing
+// could ever pair with them again, so they would otherwise sit there
+// forever and break the submitted-vs-orphaned accounting identity.
+func (c *Collector) emitResetEpilogue(b *bpf.Builder, entriesIdx, errIdx int,
+	extraOrphans int64, errLabel, doneLabel string) {
+	b.Label(errLabel)
+	b.Mov(bpf.R3, 0).Store(bpf.R7, 0, bpf.R3)
+	// Delete-loop: try every possible depth key for this generation (a
+	// miss deletes nothing and returns 0). R6 accumulates the count of
+	// entries actually removed; the generation is reloaded from its spill
+	// slot because END/FEATURES repurpose R6 for the entry pointer.
+	b.Mov(bpf.R6, extraOrphans)
+	for d := int64(0); d < MaxOUDepth; d++ {
+		b.Load(bpf.R9, bpf.R10, offGen).
+			Lsh(bpf.R9, 8).
+			Add(bpf.R9, d).
+			Store(bpf.R10, offKey, bpf.R9).
+			LoadMapPtr(bpf.R1, entriesIdx).
+			MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+			Call(bpf.HelperMapDelete).
+			AddReg(bpf.R6, bpf.R0)
+	}
+	emitSlotAddReg(b, errIdx, slotBeginWithoutEnd, errLabel+"_orph")
+	emitSlotInc(b, errIdx, slotViolations, doneLabel)
+	b.Mov(bpf.R0, 1).
+		Exit()
+}
+
+// emitErrorEpilogue emits the early-error tail for failures before the
+// depth pointer is live (the depth-slot lookup itself failing): count into
+// the given slot and bail.
+func (c *Collector) emitErrorEpilogue(b *bpf.Builder, errIdx int, slot int64,
+	errLabel, doneLabel string) {
+	b.Label(errLabel)
+	emitSlotInc(b, errIdx, slot, doneLabel)
+	b.Mov(bpf.R0, 1).
 		Exit()
 }
 
@@ -314,18 +502,26 @@ func (c *Collector) genBegin() *bpf.Program {
 	b.Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
 		Store(bpf.R10, offEntry+entOU*8, bpf.R0).
 		// Word 1: state = begun.
-		StoreImm(bpf.R10, offEntry+entState*8, 0)
+		StoreImm(bpf.R10, offEntry+entState*8, entStateBegun)
 	// Word 2: begin timestamp.
 	b.Call(bpf.HelperKtime).
 		Store(bpf.R10, offEntry+entElapsed*8, bpf.R0)
 	c.emitProbeSnapshot(b, offEntry)
+	// Word 12: the CPU this snapshot was taken on. END compares against
+	// its own CPU — a mismatch means the task migrated mid-OU and the two
+	// snapshots difference unrelated per-CPU counter contexts.
+	b.Call(bpf.HelperGetCPU).
+		Store(bpf.R10, offEntry+entCPU*8, bpf.R0)
 
-	// entries[pid<<8|depth] = entry.
+	// entries[gen<<8|depth] = entry. A rejected push (map full) abandons
+	// this BEGIN: depth stays put and the loss is counted, because an
+	// unrecorded BEGIN can never produce a sample.
 	emitEntryKey(b, 0)
 	b.LoadMapPtr(bpf.R1, entriesIdx).
 		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
 		MovReg(bpf.R3, bpf.R10).Sub(bpf.R3, -offEntry).
-		Call(bpf.HelperMapUpdate)
+		Call(bpf.HelperMapUpdate).
+		Jne(bpf.R0, 0, "push_fail")
 
 	// depth++.
 	b.Add(bpf.R8, 1).
@@ -333,8 +529,15 @@ func (c *Collector) genBegin() *bpf.Program {
 		Mov(bpf.R0, 0).
 		Exit()
 
-	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
-	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	b.Label("push_fail")
+	emitSlotInc(b, errIdx, slotBeginWithoutEnd, "push_done")
+	b.Mov(bpf.R0, 1).
+		Exit()
+
+	// The depth-overflow BEGIN itself never pushed an entry, so the reset
+	// counts one extra orphan on top of the stacked entries it deletes.
+	c.emitResetEpilogue(b, entriesIdx, errIdx, 1, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, slotEarlyErrors, "err_early", "early_done")
 	return b.MustBuild()
 }
 
@@ -358,15 +561,24 @@ func (c *Collector) genEnd() *bpf.Program {
 	errIdx := b.AddMap(c.errors)
 
 	c.prologue(b, depthIdx, "err_early")
-	b.Jeq(bpf.R8, 0, "err_reset") // END without BEGIN
+	b.Jeq(bpf.R8, 0, "err_ewb") // END without BEGIN
 	emitEntryLookup(b, entriesIdx, "err_reset")
 
 	// State must be "begun" and the OU id must match the marker's.
 	b.Load(bpf.R1, bpf.R6, entState*8).
-		Jne(bpf.R1, 0, "err_reset").
+		Jne(bpf.R1, entStateBegun, "err_reset").
 		Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
 		Load(bpf.R2, bpf.R6, entOU*8).
 		JneReg(bpf.R0, bpf.R2, "err_reset")
+
+	// Migration check: if the task is no longer on the CPU the BEGIN
+	// snapshot was taken on, the delta would difference two unrelated
+	// per-CPU counter contexts. Mark the entry torn instead of computing
+	// garbage; FEATURES pops it into the TornMigration bucket, so nesting
+	// stays intact and nothing corrupt is submitted.
+	b.Call(bpf.HelperGetCPU).
+		Load(bpf.R1, bpf.R6, entCPU*8).
+		JneReg(bpf.R0, bpf.R1, "torn")
 
 	// Elapsed time.
 	b.Call(bpf.HelperKtime).
@@ -383,12 +595,22 @@ func (c *Collector) genEnd() *bpf.Program {
 								Store(bpf.R6, int32(w)*8, bpf.R1)
 	}
 
-	b.StoreImm(bpf.R6, entState*8, 1). // mark ended
-						Mov(bpf.R0, 0).
-						Exit()
+	b.StoreImm(bpf.R6, entState*8, entStateEnded).
+		Mov(bpf.R0, 0).
+		Exit()
 
-	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
-	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	b.Label("torn")
+	b.StoreImm(bpf.R6, entState*8, entStateTorn).
+		Mov(bpf.R0, 0).
+		Exit()
+
+	// END with no OU in flight gets its own orphan class before the
+	// common reset (a dropped or never-recorded BEGIN, not a lost entry).
+	b.Label("err_ewb")
+	emitSlotInc(b, errIdx, slotEndWithoutBegin, "ewb_done")
+	b.Ja("err_reset")
+	c.emitResetEpilogue(b, entriesIdx, errIdx, 0, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, slotEarlyErrors, "err_early", "early_done")
 	return b.MustBuild()
 }
 
@@ -417,14 +639,18 @@ func (c *Collector) genFeatures() *bpf.Program {
 		b.StoreImm(bpf.R10, offSample+int32(w)*8, 0)
 	}
 
-	// Sample word 1: pid (stored before R6 is repurposed).
-	b.Store(bpf.R10, offSample+8, bpf.R6)
+	// Sample word 1: pid. The Collector's maps are keyed by generation,
+	// but the archived sample carries the familiar pid.
+	b.Call(bpf.HelperGetPID).
+		Store(bpf.R10, offSample+8, bpf.R0)
 
 	emitEntryLookup(b, entriesIdx, "err_reset")
 
-	// Entry must be in the "ended" state.
+	// Entry must be in the "ended" state; "torn" entries (mid-OU CPU
+	// migration, detected by END) are popped into the orphan bucket.
 	b.Load(bpf.R1, bpf.R6, entState*8).
-		Jne(bpf.R1, 1, "err_reset")
+		Jeq(bpf.R1, entStateTorn, "torn_pop").
+		Jne(bpf.R1, entStateEnded, "err_reset")
 
 	// OU id check: arg0 must equal the entry's OU or be the fused marker.
 	b.Mov(bpf.R1, 0).Call(bpf.HelperGetArg).
@@ -483,13 +709,33 @@ func (c *Collector) genFeatures() *bpf.Program {
 		Mov(bpf.R3, int64(SampleMaxBytes)).
 		Call(bpf.HelperPerfOutput)
 
-	// Pop: depth--.
+	// Pop: delete the consumed entry (its key is still in the key slot
+	// from the lookup) and decrement the depth. The old code left the
+	// entry in the map — a leak that gen-keying turns into a permanent
+	// orphan, since no future task can ever produce its key again.
+	b.LoadMapPtr(bpf.R1, entriesIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapDelete)
 	b.Sub(bpf.R8, 1).
 		Store(bpf.R7, 0, bpf.R8).
 		Mov(bpf.R0, 0).
 		Exit()
 
-	c.emitErrorEpilogue(b, errIdx, true, "err_reset", "reset_done")
-	c.emitErrorEpilogue(b, errIdx, false, "err_early", "early_done")
+	// Torn pop: discard the migrated OU's entry into the TornMigration
+	// bucket and unwind the depth as a normal pop would, keeping any
+	// enclosing OUs intact. The entry is deleted first — the counter bump
+	// reuses the key slot the delete still needs.
+	b.Label("torn_pop")
+	b.LoadMapPtr(bpf.R1, entriesIdx).
+		MovReg(bpf.R2, bpf.R10).Sub(bpf.R2, 8).
+		Call(bpf.HelperMapDelete)
+	emitSlotInc(b, errIdx, slotTornMigration, "torn_done")
+	b.Sub(bpf.R8, 1).
+		Store(bpf.R7, 0, bpf.R8).
+		Mov(bpf.R0, 1).
+		Exit()
+
+	c.emitResetEpilogue(b, entriesIdx, errIdx, 0, "err_reset", "reset_done")
+	c.emitErrorEpilogue(b, errIdx, slotEarlyErrors, "err_early", "early_done")
 	return b.MustBuild()
 }

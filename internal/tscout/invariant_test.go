@@ -70,15 +70,18 @@ func checkKernelIdentity(t *testing.T, ts *TScout) int64 {
 		ks := st.Kernel[sub]
 		// Non-fused samples produce exactly one point each, so the
 		// identity is 1:1 per subsystem.
-		if rs.Submitted != ks.Points+rs.Dropped+ks.DecodeErrors {
-			t.Fatalf("%s identity violated: submitted %d != points %d + dropped %d + decode errors %d",
-				sub, rs.Submitted, ks.Points, rs.Dropped, ks.DecodeErrors)
+		if rs.Submitted != ks.Points+rs.Dropped+ks.DecodeErrors+ks.CorruptDiscards {
+			t.Fatalf("%s identity violated: submitted %d != points %d + dropped %d + decode errors %d + corrupt %d",
+				sub, rs.Submitted, ks.Points, rs.Dropped, ks.DecodeErrors, ks.CorruptDiscards)
 		}
 		if ks.Drained != rs.Submitted-rs.Dropped {
 			t.Fatalf("%s: drained %d, submitted %d, dropped %d", sub, ks.Drained, rs.Submitted, rs.Dropped)
 		}
 		if ks.DecodeErrors != 0 {
 			t.Fatalf("%s: Collector emitted %d undecodable samples", sub, ks.DecodeErrors)
+		}
+		if ks.CorruptDiscards != 0 {
+			t.Fatalf("%s: fault-free workload produced %d corrupt-metric discards", sub, ks.CorruptDiscards)
 		}
 		totalDropped += rs.Dropped
 	}

@@ -164,15 +164,15 @@ func (m *Marker) userEnd(st *taskState, t *kernel.Task) {
 	}
 	f.metrics = Metrics{
 		ElapsedNS:      t.Now() - f.beginNS,
-		Cycles:         deltaU64(cur[0], f.counters[0]),
-		Instructions:   deltaU64(cur[1], f.counters[1]),
-		CacheRefs:      deltaU64(cur[2], f.counters[2]),
-		CacheMisses:    deltaU64(cur[3], f.counters[3]),
-		RefCycles:      deltaU64(cur[4], f.counters[4]),
-		DiskReadBytes:  t.IOAC.ReadBytes - f.ioacR,
-		DiskWriteBytes: t.IOAC.WriteBytes - f.ioacW,
-		NetRecvBytes:   t.Sock.BytesReceived - f.sockR,
-		NetSendBytes:   t.Sock.BytesSent - f.sockS,
+		Cycles:         st.counterDelta(cur[0], f.counters[0]),
+		Instructions:   st.counterDelta(cur[1], f.counters[1]),
+		CacheRefs:      st.counterDelta(cur[2], f.counters[2]),
+		CacheMisses:    st.counterDelta(cur[3], f.counters[3]),
+		RefCycles:      st.counterDelta(cur[4], f.counters[4]),
+		DiskReadBytes:  st.byteDelta(t.IOAC.ReadBytes, f.ioacR),
+		DiskWriteBytes: st.byteDelta(t.IOAC.WriteBytes, f.ioacW),
+		NetRecvBytes:   st.byteDelta(t.Sock.BytesReceived, f.sockR),
+		NetSendBytes:   st.byteDelta(t.Sock.BytesSent, f.sockS),
 	}
 	f.ended = true
 }
@@ -204,4 +204,27 @@ func deltaU64(cur, begin float64) uint64 {
 		return 0
 	}
 	return uint64(d)
+}
+
+// counterDelta is deltaU64 with wraparound accounting: a counter reading
+// that went backwards between BEGIN and END (perf-counter wrap, a reset
+// racing the probe) clamps to zero and is counted — a silent clamp would
+// hide mid-OU corruption as a plausible-looking cheap OU.
+func (st *taskState) counterDelta(cur, begin float64) uint64 {
+	if cur < begin {
+		st.wrapClamps++
+		return 0
+	}
+	return deltaU64(cur, begin)
+}
+
+// byteDelta clamps a cumulative byte-counter delta the same way: IO and
+// socket counters are monotone, so a negative delta is corruption, not
+// workload.
+func (st *taskState) byteDelta(cur, begin int64) int64 {
+	if cur < begin {
+		st.wrapClamps++
+		return 0
+	}
+	return cur - begin
 }

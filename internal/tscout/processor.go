@@ -1,6 +1,7 @@
 package tscout
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -44,6 +45,43 @@ const userDrainPenalty = 3
 // outside every Processor lock; if the sink cannot keep up the queue drops
 // points (counted in stats) rather than stalling sample intake.
 const flushQueueCapacity = 8192
+
+// maxSinkRetries bounds redelivery attempts for a batch the sink rejected.
+// After the last attempt fails the points are dropped (SinkRetryDrops) —
+// the archive keeps them, so a flaky sink degrades delivery, not intake.
+const maxSinkRetries = 3
+
+// maxRetryQueueBatches bounds the sink retry queue; a persistently dead
+// sink must not accumulate unbounded redelivery state.
+const maxRetryQueueBatches = 64
+
+// corruptCounterLimit is the smallest counter delta treated as unsigned
+// wraparound rather than real work. 2^62 events is centuries of CPU time:
+// unreachable by any legitimate OU, but exactly where an end-before-begin
+// subtraction lands after wrapping mod 2^64.
+const corruptCounterLimit = uint64(1) << 62
+
+// errCorruptMetrics marks a sample that decoded structurally but carries
+// physically impossible metrics; callers count it as a CorruptDiscard, not
+// a decode error.
+var errCorruptMetrics = errors.New("tscout: corrupt sample metrics")
+
+// metricsSane rejects metric vectors no real OU can produce: negative
+// elapsed time or IO deltas (all derived from monotone clocks/byte counts)
+// and counter deltas in the wraparound range. Mid-OU corruption that
+// slips past the Collector's in-kernel checks — perf-counter wraparound
+// faults, torn reads — is discarded here instead of poisoning a model.
+func metricsSane(m Metrics) bool {
+	if m.ElapsedNS < 0 || m.DiskReadBytes < 0 || m.DiskWriteBytes < 0 ||
+		m.NetRecvBytes < 0 || m.NetSendBytes < 0 {
+		return false
+	}
+	return m.Cycles < corruptCounterLimit &&
+		m.Instructions < corruptCounterLimit &&
+		m.CacheRefs < corruptCounterLimit &&
+		m.CacheMisses < corruptCounterLimit &&
+		m.RefCycles < corruptCounterLimit
+}
 
 // BatchHistBuckets is the number of drain-batch size buckets in
 // ProcessorStats.BatchSizeHist.
@@ -198,6 +236,9 @@ type Processor struct {
 	splitter            SplitWeightFunc
 	pendingFlush        []TrainingPoint
 	flushDrops          int64
+	retryQueue          []retryBatch
+	sinkRetries         int64
+	sinkRetryDrops      int64
 	processed           int64
 	polls               int64
 	lastGlobalBudget    int
@@ -324,6 +365,7 @@ func (p *Processor) PollBudget(budget int) int {
 type drainTally struct {
 	drained       [NumSubsystems]int64
 	decodeErrs    [NumSubsystems]int64
+	corrupt       [NumSubsystems]int64
 	padded        [NumSubsystems]int64
 	truncated     [NumSubsystems]int64
 	points        [NumSubsystems]int64
@@ -363,6 +405,12 @@ func (p *Processor) Drain(opts DrainOptions) DrainResult {
 	for _, sub := range AllSubsystems {
 		if col := p.ts.CollectorFor(sub); col != nil {
 			cols[sub] = col
+			// Reap in-flight OU entries whose task generation died mid-OU
+			// before taking the period's snapshots: a kill between BEGIN and
+			// FEATURES must land in the StaleReaped orphan bucket this
+			// period, not linger as a phantom in-flight entry a recycled pid
+			// could never legally complete.
+			col.ReapStale(p.ts.kernel.GenAlive)
 			ringNow[sub] = col.Ring.Stats()
 			cpuNow[sub] = col.Ring.CPUStats()
 			if n := col.Ring.NumCPUs(); n > numCPUs {
@@ -514,10 +562,11 @@ func (p *Processor) Drain(opts DrainOptions) DrainResult {
 	// Merge the per-period tallies into the shard stats under each shard's
 	// own lock; this is the only place kernel-shard counters are written.
 	for _, sub := range AllSubsystems {
-		var drained, decErr, padded, truncated, points int64
+		var drained, decErr, corrupt, padded, truncated, points int64
 		for t := range tallies {
 			drained += tallies[t].drained[sub]
 			decErr += tallies[t].decodeErrs[sub]
+			corrupt += tallies[t].corrupt[sub]
 			padded += tallies[t].padded[sub]
 			truncated += tallies[t].truncated[sub]
 			points += tallies[t].points[sub]
@@ -531,6 +580,7 @@ func (p *Processor) Drain(opts DrainOptions) DrainResult {
 		sh.stats.Dropped += deltaDrop[sub]
 		sh.stats.Drained += drained
 		sh.stats.DecodeErrors += decErr
+		sh.stats.CorruptDiscards += corrupt
 		sh.stats.PaddedFeatures += padded
 		sh.stats.TruncatedFeatures += truncated
 		sh.stats.Points += points
@@ -588,7 +638,11 @@ func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsyste
 		for i := 0; i < n; i++ {
 			out, err := p.transform(batch.Sample(i), &adj)
 			if err != nil {
-				tally.decodeErrs[sub]++
+				if errors.Is(err, errCorruptMetrics) {
+					tally.corrupt[sub]++
+				} else {
+					tally.decodeErrs[sub]++
+				}
 				continue
 			}
 			pts = append(pts, out...)
@@ -680,13 +734,17 @@ func waterfill(demands []int, tokens int) []int {
 // the shard of the OU's subsystem, while drain/decode accounting stays on
 // the user-queue stats.
 func (p *Processor) processUserBatch(bufs [][]byte) int {
-	var decodeErrs int64
+	var decodeErrs, corruptDiscards int64
 	var adj featureAdjust
 	var pts []TrainingPoint
 	for _, buf := range bufs {
 		out, err := p.transform(buf, &adj)
 		if err != nil {
-			decodeErrs++
+			if errors.Is(err, errCorruptMetrics) {
+				corruptDiscards++
+			} else {
+				decodeErrs++
+			}
 			continue
 		}
 		pts = append(pts, out...)
@@ -712,6 +770,7 @@ func (p *Processor) processUserBatch(bufs [][]byte) int {
 	p.userStats.Drained += int64(len(bufs))
 	p.userStats.DeltaDrained = int64(len(bufs))
 	p.userStats.DecodeErrors += decodeErrs
+	p.userStats.CorruptDiscards += corruptDiscards
 	p.userStats.PaddedFeatures += adj.padded
 	p.userStats.TruncatedFeatures += adj.truncated
 	p.mu.Unlock()
@@ -746,14 +805,54 @@ func (p *Processor) archivePoints(pts []TrainingPoint) {
 	p.mu.Unlock()
 }
 
+// retryBatch is one failed sink delivery awaiting redelivery: the points,
+// how many attempts have failed, and the poll count before which the next
+// attempt must not run (exponential backoff in drain periods).
+type retryBatch struct {
+	pts       []TrainingPoint
+	attempts  int
+	notBefore int64
+}
+
 // flushSink drains the bounded flush queue to the sink. It holds no
 // Processor lock across Write, so a slow sink only delays delivery (and
 // eventually drops from the bounded queue) and a re-entrant sink — one
 // that submits samples or reads stats — cannot deadlock intake.
+//
+// Failed deliveries are retried on later flushes with bounded exponential
+// backoff (see retryBatch); after maxSinkRetries failures the points are
+// dropped and counted, never blocking intake on a dead sink.
 func (p *Processor) flushSink() {
 	if p.sink == nil {
 		return
 	}
+
+	// Redeliver batches whose backoff has expired. A batch that fails again
+	// is requeued with notBefore strictly beyond the current poll count, so
+	// this pass cannot loop on a persistently failing sink. SinkErrors was
+	// charged on the first failure; retries only move SinkRetries.
+	p.mu.Lock()
+	polls := p.polls
+	var due []retryBatch
+	keep := p.retryQueue[:0]
+	for _, rb := range p.retryQueue {
+		if rb.notBefore <= polls {
+			due = append(due, rb)
+		} else {
+			keep = append(keep, rb)
+		}
+	}
+	p.retryQueue = keep
+	p.mu.Unlock()
+	for _, rb := range due {
+		p.mu.Lock()
+		p.sinkRetries++
+		p.mu.Unlock()
+		if failed := p.trySinkBatch(rb.pts, false); len(failed) > 0 {
+			p.requeueRetry(failed, rb.attempts+1)
+		}
+	}
+
 	for {
 		p.mu.Lock()
 		batch := p.pendingFlush
@@ -762,11 +861,23 @@ func (p *Processor) flushSink() {
 		if len(batch) == 0 {
 			return
 		}
-		if bs, ok := p.sink.(BatchSink); ok {
-			// Batched fast path: one call per flush. A batch error counts
-			// against every point in the batch — the sink rejected the
-			// delivery as a unit.
-			if err := bs.WriteBatch(batch); err != nil {
+		if failed := p.trySinkBatch(batch, true); len(failed) > 0 {
+			p.requeueRetry(failed, 1)
+		}
+	}
+}
+
+// trySinkBatch delivers one batch, returning the points that failed. When
+// countErrors is set (first delivery attempt) each failed point is charged
+// to its shard's SinkErrors; retries pass false so a point is never
+// counted twice.
+func (p *Processor) trySinkBatch(batch []TrainingPoint, countErrors bool) []TrainingPoint {
+	if bs, ok := p.sink.(BatchSink); ok {
+		// Batched fast path: one call per flush. A batch error counts
+		// against every point in the batch — the sink rejected the
+		// delivery as a unit.
+		if err := bs.WriteBatch(batch); err != nil {
+			if countErrors {
 				for _, tp := range batch {
 					sh := p.shards[tp.Subsystem]
 					sh.mu.Lock()
@@ -774,17 +885,41 @@ func (p *Processor) flushSink() {
 					sh.mu.Unlock()
 				}
 			}
-			continue
+			return batch
 		}
-		for _, tp := range batch {
-			if err := p.sink.Write(tp); err != nil {
+		return nil
+	}
+	var failed []TrainingPoint
+	for _, tp := range batch {
+		if err := p.sink.Write(tp); err != nil {
+			if countErrors {
 				sh := p.shards[tp.Subsystem]
 				sh.mu.Lock()
 				sh.stats.SinkErrors++
 				sh.mu.Unlock()
 			}
+			failed = append(failed, tp)
 		}
 	}
+	return failed
+}
+
+// requeueRetry schedules a failed delivery for another attempt, or drops
+// it (counted) once the retry budget or queue bound is exhausted — the
+// graceful-degradation policy: a dead sink costs delivery, not intake.
+func (p *Processor) requeueRetry(pts []TrainingPoint, attempts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if attempts > maxSinkRetries || len(p.retryQueue) >= maxRetryQueueBatches {
+		p.sinkRetryDrops += int64(len(pts))
+		return
+	}
+	p.retryQueue = append(p.retryQueue, retryBatch{
+		pts:      pts,
+		attempts: attempts,
+		// 1<<attempts polls of backoff: 2, 4, 8 periods for attempts 1-3.
+		notBefore: p.polls + int64(1)<<attempts,
+	})
 }
 
 // featureAdjust counts feature-vector repairs made while transforming one
@@ -800,6 +935,11 @@ func (p *Processor) transform(buf []byte, adj *featureAdjust) ([]TrainingPoint, 
 	s, err := DecodeSample(buf)
 	if err != nil {
 		return nil, err
+	}
+	// Sanity-check the raw metrics before any fused-sample expansion:
+	// scaleMetrics would smear a wrapped counter across every part.
+	if !metricsSane(s.Metrics) {
+		return nil, errCorruptMetrics
 	}
 	if s.OU != FusedOUID {
 		def, ok := p.ts.OU(s.OU)
@@ -928,18 +1068,26 @@ func (p *Processor) Stats() ProcessorStats {
 			rs := col.Ring.Stats()
 			st.Kernel[sub].Submitted = rs.Submitted
 			st.Kernel[sub].Dropped = rs.Dropped
+			st.Kernel[sub].Orphans = col.Orphans()
 			st.Rings[sub] = col.Ring.CPUStats()
 			st.Codegen[sub] = col.OptStats
 		}
 	}
+	userClamps := p.ts.userWrapClamps()
 	p.mu.Lock()
 	st.User = p.userStats
+	st.User.WrapClamps = userClamps
 	st.Polls = p.polls
 	st.GlobalBudget = p.lastGlobalBudget
 	st.EffectiveBudget = p.lastEffectiveBudget
 	st.FeedbackActions = p.feedbackActions
 	st.FlushQueueDrops = p.flushDrops
 	st.PendingFlush = len(p.pendingFlush)
+	st.SinkRetries = p.sinkRetries
+	st.SinkRetryDrops = p.sinkRetryDrops
+	for _, rb := range p.retryQueue {
+		st.PendingRetry += len(rb.pts)
+	}
 	st.Processed = p.processed
 	st.BatchSizeHist = p.batchHist
 	p.mu.Unlock()
@@ -1036,6 +1184,8 @@ func (p *Processor) Reset() {
 	p.lastUserSubmitted, p.lastUserDropped = 0, 0
 	p.pendingFlush = nil
 	p.flushDrops = 0
+	p.retryQueue = nil
+	p.sinkRetries, p.sinkRetryDrops = 0, 0
 	p.processed = 0
 	p.polls = 0
 	p.lastGlobalBudget, p.lastEffectiveBudget = 0, 0

@@ -19,6 +19,15 @@ type SubsystemStats struct {
 	Dropped int64
 	// DecodeErrors counts drained samples that failed to decode.
 	DecodeErrors int64
+	// CorruptDiscards counts samples that decoded but carried physically
+	// impossible metrics (negative elapsed/IO deltas, counter deltas in the
+	// unsigned-wraparound range) and were discarded rather than archived —
+	// the last line of defense against mid-OU corruption reaching a model.
+	CorruptDiscards int64
+	// WrapClamps counts counter deltas clamped to zero because the end
+	// reading was below the begin reading (user-mode probes; kernel-mode
+	// wraps surface as CorruptDiscards instead).
+	WrapClamps int64
 	// SinkErrors counts training points the sink rejected.
 	SinkErrors int64
 	// PaddedFeatures counts samples that arrived with fewer feature words
@@ -31,6 +40,10 @@ type SubsystemStats struct {
 	// Points counts training points archived for this subsystem (fused
 	// samples expand to several points).
 	Points int64
+
+	// Orphans classifies OU invocations that entered the Collector but
+	// never completed as a sample (kernel shards only; see OrphanCounts).
+	Orphans OrphanCounts
 
 	// DeltaSubmitted/DeltaDrained/DeltaDropped are the same counters
 	// restricted to the most recent drain period.
@@ -63,6 +76,17 @@ type ProcessorStats struct {
 	FlushQueueDrops int64
 	// PendingFlush is the current flush-queue depth.
 	PendingFlush int
+	// SinkRetries counts redelivery attempts of batches the sink rejected
+	// (each retried batch counts once per attempt; the points inside were
+	// already charged to SinkErrors on the first failure).
+	SinkRetries int64
+	// SinkRetryDrops counts training points abandoned after exhausting the
+	// bounded retry budget or overflowing the retry queue — the sink-side
+	// graceful-degradation drop policy (the archive still keeps them).
+	SinkRetryDrops int64
+	// PendingRetry is the number of training points currently queued for
+	// sink redelivery.
+	PendingRetry int
 	// Processed is the cumulative number of training points produced.
 	Processed int64
 
@@ -122,6 +146,24 @@ func (s *ProcessorStats) TotalDropped() int64 {
 	n := s.User.Dropped
 	for i := range s.Kernel {
 		n += s.Kernel[i].Dropped
+	}
+	return n
+}
+
+// TotalOrphans sums the orphan classes across every kernel shard.
+func (s *ProcessorStats) TotalOrphans() OrphanCounts {
+	var o OrphanCounts
+	for i := range s.Kernel {
+		o.Add(s.Kernel[i].Orphans)
+	}
+	return o
+}
+
+// TotalCorruptDiscards sums corrupt-sample discards across every shard.
+func (s *ProcessorStats) TotalCorruptDiscards() int64 {
+	n := s.User.CorruptDiscards
+	for i := range s.Kernel {
+		n += s.Kernel[i].CorruptDiscards
 	}
 	return n
 }

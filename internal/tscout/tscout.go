@@ -191,6 +191,7 @@ type taskState struct {
 	eventSampled  [NumSubsystems]bool
 	userStack     []userFrame
 	userErrors    int64
+	wrapClamps    int64
 }
 
 type userFrame struct {
@@ -370,8 +371,20 @@ func (ts *TScout) taskStateFor(t *kernel.Task) *taskState {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	st, ok := ts.tasks[t.PID]
+	var carriedErrors, carriedClamps int64
+	if ok && st.task != t {
+		// PID reuse: a new task recycled a dead task's pid. Inheriting the
+		// dead task's state would pair the new task's markers with a stale
+		// in-flight stack and stale sampling decisions — and would skip the
+		// first-contact perf-counter setup, so every sample the respawned
+		// task produced would read disabled (zero) counters. Start fresh,
+		// carrying only the dead task's cumulative error counters so the
+		// deployment-wide totals survive the replacement.
+		carriedErrors, carriedClamps = st.userErrors, st.wrapClamps
+		ok = false
+	}
 	if !ok {
-		st = &taskState{task: t}
+		st = &taskState{task: t, userErrors: carriedErrors, wrapClamps: carriedClamps}
 		ts.tasks[t.PID] = st
 		switch ts.cfg.Mode {
 		case KernelContinuous:
@@ -422,6 +435,18 @@ func (ts *TScout) UserStateErrors() int64 {
 	var n int64
 	for _, st := range ts.tasks {
 		n += st.userErrors
+	}
+	return n
+}
+
+// userWrapClamps sums the counter-delta clamps recorded by the user-mode
+// probes (surfaced as Stats().User.WrapClamps).
+func (ts *TScout) userWrapClamps() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var n int64
+	for _, st := range ts.tasks {
+		n += st.wrapClamps
 	}
 	return n
 }

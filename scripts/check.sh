@@ -13,6 +13,10 @@ go test -race -timeout 45m ./...
 # must assemble and run at every thread/topology combination.
 go test -bench '^BenchmarkDrainPerCPUvsSingle$' -benchtime 1x -run xxx .
 
+# Seed-corpus chaos runs: the pipeline under deterministic fault schedules
+# must satisfy the exact accounting identities at every drain parallelism.
+go test ./internal/tscout -run '^TestChaos' -count=1
+
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
 # pattern per package invocation is a go test restriction).
 if [ "${FUZZ:-0}" = "1" ]; then
@@ -23,4 +27,5 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzRingbuf$' -fuzztime "$fuzztime"
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzPerCPURing$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
+	go test ./internal/tscout -run '^$' -fuzz '^FuzzFaultSchedule$' -fuzztime "$fuzztime"
 fi
