@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke chaos-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint test race bench bench-smoke jit-smoke chaos-smoke figures fuzz-smoke cover
 
-check: build lint race bench-smoke chaos-smoke
+check: build lint race bench-smoke jit-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ bench:
 # ring topologies (real throughput numbers need default -benchtime).
 bench-smoke:
 	$(GO) test -bench '^BenchmarkDrainPerCPUvsSingle$$' -benchtime 1x -run xxx .
+
+# JIT smoke: compile every subsystem×resource-mask×marker Collector
+# program (192), assert the compiler declines none of them, and
+# differentially spot-check compiled vs interpreted execution (r0, cost,
+# helper traces, map end-states). The single-shot benchmark run keeps the
+# interp-vs-compiled speed harness itself from rotting.
+jit-smoke:
+	$(GO) test ./internal/tscout -run '^TestJITSmoke' -count=1
+	$(GO) test -bench '^BenchmarkCollectorInterpVsCompiled$$' -benchtime 1x -run xxx .
 
 # Seed-corpus chaos runs: the full pipeline under deterministic fault
 # schedules (kills, migrations, wraparound, overflow bursts, drop/dup

@@ -207,3 +207,49 @@ func TestFormatProcessorStatsCodegenSection(t *testing.T) {
 		t.Fatalf("codegen row rendered for subsystem without optimization:\n%s", section)
 	}
 }
+
+func TestFormatProcessorStatsJITSection(t *testing.T) {
+	var st tscout.ProcessorStats
+	// Disabled everywhere: the JIT section must not render.
+	if out := formatProcessorStats(st); strings.Contains(out, "jit") {
+		t.Fatalf("jit section rendered with compilation off:\n%s", out)
+	}
+	st.JIT[tscout.SubsystemExecutionEngine] = tscout.CollectorJITStats{
+		Enabled:  true,
+		Begin:    bpf.ProgramJITStats{Attempted: true, Compiled: true, CompiledRuns: 42},
+		End:      bpf.ProgramJITStats{Attempted: true, Compiled: true, CompiledRuns: 40},
+		Features: bpf.ProgramJITStats{Attempted: true, DeclineReason: bpf.DeclineBackEdge, InterpRuns: 40},
+	}
+	out := formatProcessorStats(st)
+	for _, want := range []string{
+		"jit (native runs per program", "42", "40",
+		"interp:" + bpf.DeclineBackEdge, "compiled-programs=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("jit section missing %q:\n%s", want, out)
+		}
+	}
+	section := out[strings.Index(out, "jit ("):]
+	if strings.Contains(section, "disk-writer") {
+		t.Fatalf("jit row rendered for subsystem without compilation:\n%s", section)
+	}
+}
+
+func TestFormatProcessorStatsRuntimeFaults(t *testing.T) {
+	var st tscout.ProcessorStats
+	// Runtime faults alone must force the resilience section open and
+	// render the unmistakable fault banner — this is the counter the old
+	// Attach path silently discarded.
+	st.Kernel[tscout.SubsystemNetworking] = tscout.SubsystemStats{RuntimeFaults: 3}
+	out := formatProcessorStats(st)
+	if !strings.Contains(out, "resilience:") {
+		t.Fatalf("runtime faults did not open the resilience section:\n%s", out)
+	}
+	if !strings.Contains(out, "RUNTIME-FAULTS=3") {
+		t.Fatalf("fault banner missing:\n%s", out)
+	}
+	// And a healthy snapshot must not mention it.
+	if out := formatProcessorStats(tscout.ProcessorStats{}); strings.Contains(out, "RUNTIME-FAULTS") {
+		t.Fatalf("fault banner rendered for healthy snapshot:\n%s", out)
+	}
+}

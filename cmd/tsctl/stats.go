@@ -82,7 +82,8 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 	}
 	wrapClamps += st.User.WrapClamps
 	resil := orphans.Total() + st.TotalCorruptDiscards() + wrapClamps +
-		st.SinkRetries + st.SinkRetryDrops + int64(st.PendingRetry)
+		st.SinkRetries + st.SinkRetryDrops + int64(st.PendingRetry) +
+		st.TotalRuntimeFaults()
 	if resil > 0 {
 		fmt.Fprintf(&b, "\nresilience:\n")
 		fmt.Fprintf(&b, "orphans: begin-no-end=%d end-no-begin=%d torn-migration=%d stale-reaped=%d\n",
@@ -91,6 +92,11 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 		fmt.Fprintf(&b, "corrupt-discards=%d wrap-clamps=%d sink-retries=%d sink-retry-drops=%d pending-retry=%d\n",
 			st.TotalCorruptDiscards(), wrapClamps,
 			st.SinkRetries, st.SinkRetryDrops, st.PendingRetry)
+		if rf := st.TotalRuntimeFaults(); rf > 0 {
+			// A verified program faulting at runtime is a verifier or JIT
+			// bug, not operational noise — call it out unmistakably.
+			fmt.Fprintf(&b, "RUNTIME-FAULTS=%d (verified programs faulted in marker context — verifier/JIT bug)\n", rf)
+		}
 	}
 
 	// Codegen savings only render when the optimizer ran, so deployments
@@ -118,6 +124,34 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 				sub.String(), cols[0], cols[1], cols[2], cg.Saved())
 		}
 		fmt.Fprintf(&b, "total-insns-saved=%d\n", st.TotalInsnsSaved())
+	}
+
+	// JIT dispatch only renders when compilation was attempted, mirroring
+	// the codegen block. Each program cell shows its native run count, or
+	// the decline reason for programs still on the interpreter.
+	jit := false
+	for i := range st.JIT {
+		jit = jit || st.JIT[i].Enabled
+	}
+	if jit {
+		fmt.Fprintf(&b, "\njit (native runs per program; interp:<reason> = declined):\n")
+		progCell := func(p bpf.ProgramJITStats) string {
+			if !p.Compiled {
+				return "interp:" + p.DeclineReason
+			}
+			return fmt.Sprintf("%d", p.CompiledRuns)
+		}
+		fmt.Fprintf(&b, "%-18s %12s %12s %12s %8s\n", "subsystem", "begin", "end", "features", "faults")
+		for _, sub := range tscout.AllSubsystems {
+			js := st.JIT[sub]
+			if !js.Enabled {
+				continue
+			}
+			fmt.Fprintf(&b, "%-18s %12s %12s %12s %8d\n",
+				sub.String(), progCell(js.Begin), progCell(js.End), progCell(js.Features),
+				js.RuntimeFaults())
+		}
+		fmt.Fprintf(&b, "compiled-programs=%d\n", st.TotalCompiledPrograms())
 	}
 	return b.String()
 }

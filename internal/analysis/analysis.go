@@ -1,14 +1,21 @@
 // Package analysis holds repo-local static checks that run in `make lint`.
 //
-// The one check so far guards the codebase's central safety invariant (the
-// paper's §5.1 story, DESIGN.md §2): a bpf.Program must only execute after
-// the verifier has accepted it. The public API enforces this by funneling
-// execution through bpf.Load, which verifies first — but Go cannot stop a
-// caller from discarding the verification error and running the program
-// anyway, or from conjuring a zero-valued bpf.LoadedProgram composite
-// literal that never saw the verifier. This pass flags both patterns in
-// non-test code, using only go/parser and go/ast so it needs no external
-// analysis framework.
+// The checks guard two invariants in non-test code, using only go/parser
+// and go/ast so they need no external analysis framework:
+//
+//  1. Verify-before-run (the paper's §5.1 story, DESIGN.md §2): a
+//     bpf.Program must only execute after the verifier has accepted it.
+//     The public API enforces this by funneling execution through
+//     bpf.Load, which verifies first — but Go cannot stop a caller from
+//     discarding the verification error and running the program anyway,
+//     or from conjuring a zero-valued bpf.LoadedProgram composite literal
+//     that never saw the verifier.
+//  2. No swallowed runtime faults: the execution hot path (.Run,
+//     .RunInterpreted) returns the fault as its final result, and
+//     LoadedProgram.Attach once dropped it on the floor — hits faulted
+//     silently instead of surfacing as an explicit loss class. Discarding
+//     those errors (bare/go/defer statements, or a blank final result) is
+//     flagged so that bug class cannot reappear.
 package analysis
 
 import (
@@ -35,6 +42,15 @@ const (
 	// identifier or bare call statement): ignoring the verdict defeats
 	// the verify-before-run contract.
 	RuleDiscardedVerifyError = "discarded-verify-error"
+	// RuleDiscardedRunError flags discarding the results of the execution
+	// hot path: a bare (or go/defer) statement calling .Run or
+	// .RunInterpreted drops the runtime fault on the floor — exactly the
+	// Attach bug — and a blank-identifier assignment of the trailing
+	// result of .Run/.RunInterpreted/.Drain/.DrainBatch silently discards
+	// faults or drain accounting. A bare .Drain statement is NOT flagged:
+	// draining purely to quiesce a pipeline is an established idiom and
+	// its result is a summary, not an error.
+	RuleDiscardedRunError = "discarded-run-error"
 )
 
 // verifyFuncs maps the bpf package's verification entry points to the
@@ -50,6 +66,16 @@ var verifyFuncs = map[string]int{
 // the check keeps working if the module is renamed or vendored.
 const bpfImportSuffix = "internal/bpf"
 
+// runErrMethods are execution entry points whose final result is an error;
+// drainMethods return accounting a caller may legitimately ignore in a
+// bare statement but not explicitly blank out. Matching is by method name
+// over any non-package receiver: go/ast has no type information, and these
+// names are unambiguous within this repository.
+var (
+	runErrMethods = map[string]bool{"Run": true, "RunInterpreted": true}
+	drainMethods  = map[string]bool{"Drain": true, "DrainBatch": true}
+)
+
 // Diagnostic is one finding, positioned for editor navigation.
 type Diagnostic struct {
 	File    string
@@ -63,9 +89,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Rule, d.Message)
 }
 
-// CheckDir walks root and checks every non-test Go file outside the bpf
-// package itself (which constructs its own states by design) and outside
-// testdata trees. Diagnostics come back sorted by file and line.
+// CheckDir walks root and checks every non-test Go file outside testdata
+// trees. The bpf package itself is exempt from the selector-based rules
+// (it constructs its own states by design) but NOT from the run-error
+// rule: the Attach bug lived inside internal/bpf, so that rule must reach
+// it. Diagnostics come back sorted by file and line.
 func CheckDir(root string) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -77,16 +105,16 @@ func CheckDir(root string) ([]Diagnostic, error) {
 			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
 				return filepath.SkipDir
 			}
-			if rel, rerr := filepath.Rel(root, path); rerr == nil &&
-				strings.HasSuffix(filepath.ToSlash(rel), bpfImportSuffix) {
-				return filepath.SkipDir
-			}
 			return nil
 		}
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		fd, ferr := checkFile(path)
+		bpfSelf := false
+		if rel, rerr := filepath.Rel(root, path); rerr == nil {
+			bpfSelf = strings.Contains(filepath.ToSlash(rel), bpfImportSuffix+"/")
+		}
+		fd, ferr := checkFile(path, bpfSelf)
 		if ferr != nil {
 			return ferr
 		}
@@ -105,28 +133,39 @@ func CheckDir(root string) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// checkFile parses and checks a single file.
-func checkFile(path string) ([]Diagnostic, error) {
+// checkFile parses and checks a single file. bpfSelf marks files inside
+// the bpf package itself: selector-based rules are suppressed there (the
+// package constructs its own states), only the run-error rule applies.
+func checkFile(path string, bpfSelf bool) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
 	}
-	bpfName := bpfImportName(f)
-	if bpfName == "" {
-		return nil, nil
+	bpfName := ""
+	if !bpfSelf {
+		bpfName = bpfImportName(f)
 	}
+	pkgNames := importLocalNames(f)
 
 	var diags []Diagnostic
 	report := func(pos token.Pos, rule, msg string) {
 		p := fset.Position(pos)
 		diags = append(diags, Diagnostic{File: path, Line: p.Line, Rule: rule, Message: msg})
 	}
+	// reportDropped flags a statement-position call whose results vanish:
+	// bare statements and go/defer of the error-returning run methods.
+	reportDropped := func(call ast.Expr) {
+		if name, ok := hotPathMethod(call, pkgNames); ok && runErrMethods[name] {
+			report(call.Pos(), RuleDiscardedRunError,
+				fmt.Sprintf("error from .%s dropped; runtime faults must be counted, not swallowed", name))
+		}
+	}
 
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CompositeLit:
-			if isBpfSelector(node.Type, bpfName, "LoadedProgram") {
+			if bpfName != "" && isBpfSelector(node.Type, bpfName, "LoadedProgram") {
 				report(node.Pos(), RuleConstructedLoadedProgram,
 					"bpf.LoadedProgram constructed directly; only bpf.Load returns verified programs")
 			}
@@ -135,23 +174,81 @@ func checkFile(path string) ([]Diagnostic, error) {
 				report(node.Pos(), RuleDiscardedVerifyError,
 					fmt.Sprintf("result of bpf.%s discarded; the verification verdict must be checked", name))
 			}
+			reportDropped(node.X)
+		case *ast.GoStmt:
+			reportDropped(node.Call)
+		case *ast.DeferStmt:
+			reportDropped(node.Call)
 		case *ast.AssignStmt:
 			if len(node.Rhs) != 1 {
 				return true
 			}
-			name, ok := verifyCall(node.Rhs[0], bpfName)
-			if !ok {
+			if name, ok := verifyCall(node.Rhs[0], bpfName); ok {
+				errIdx := verifyFuncs[name]
+				if errIdx < len(node.Lhs) && isBlank(node.Lhs[errIdx]) {
+					report(node.Pos(), RuleDiscardedVerifyError,
+						fmt.Sprintf("error from bpf.%s assigned to _; the verification verdict must be checked", name))
+				}
 				return true
 			}
-			errIdx := verifyFuncs[name]
-			if errIdx < len(node.Lhs) && isBlank(node.Lhs[errIdx]) {
-				report(node.Pos(), RuleDiscardedVerifyError,
-					fmt.Sprintf("error from bpf.%s assigned to _; the verification verdict must be checked", name))
+			name, ok := hotPathMethod(node.Rhs[0], pkgNames)
+			if !ok || !isBlank(node.Lhs[len(node.Lhs)-1]) {
+				return true
 			}
+			what := "error"
+			if drainMethods[name] {
+				what = "result"
+			}
+			report(node.Pos(), RuleDiscardedRunError,
+				fmt.Sprintf("%s from .%s assigned to _; runtime faults must be counted, not swallowed", what, name))
 		}
 		return true
 	})
 	return diags, nil
+}
+
+// importLocalNames collects the local names every import binds in f, so a
+// call like `workload.Run(...)` is recognized as a package function rather
+// than a method on a value.
+func importLocalNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		if imp.Name != nil {
+			names[imp.Name.Name] = true
+			continue
+		}
+		pathVal, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if i := strings.LastIndex(pathVal, "/"); i >= 0 {
+			pathVal = pathVal[i+1:]
+		}
+		names[pathVal] = true
+	}
+	return names
+}
+
+// hotPathMethod reports whether expr calls one of the execution hot-path
+// methods (.Run/.RunInterpreted/.Drain/.DrainBatch) on a non-package
+// receiver, returning the method name.
+func hotPathMethod(expr ast.Expr, pkgNames map[string]bool) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !runErrMethods[name] && !drainMethods[name] {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && pkgNames[id.Name] {
+		return "", false // package-level function, not a method
+	}
+	return name, true
 }
 
 // isBlank reports whether expr is the blank identifier.

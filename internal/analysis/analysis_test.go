@@ -145,6 +145,71 @@ func bad(p *ebpf.Program) { ebpf.Verify(p, 0) }
 	}
 }
 
+func TestCheckDirFlagsDiscardedRunErrors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/run.go": `package pkg
+
+import "tscout/internal/workload"
+
+type prog struct{}
+
+func (prog) Run() (uint64, int64, error)            { return 0, 0, nil }
+func (prog) RunInterpreted() (uint64, int64, error) { return 0, 0, nil }
+func (prog) Drain(int) int                          { return 0 }
+
+func bad(lp prog, srv, gen int) {
+	lp.Run()                     // dropped error: flagged
+	go lp.Run()                  // dropped error: flagged
+	defer lp.RunInterpreted()    // dropped error: flagged
+	_, _, _ = lp.Run()           // blank error: flagged
+	r0, _, _ := lp.Run()         // blank error: flagged
+	_ = r0
+	_ = lp.Drain(0)              // blanked drain result: flagged
+	lp.Drain(0)                  // quiesce idiom: allowed
+	n := lp.Drain(0)             // consumed result: allowed
+	_ = n
+	workload.Run(srv, gen)       // package function, not a method: allowed
+}
+`,
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 6 {
+		t.Fatalf("got %d diagnostics, want 6:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != RuleDiscardedRunError {
+			t.Fatalf("unexpected rule %q: %v", d.Rule, d)
+		}
+	}
+}
+
+// The run-error rule must reach inside internal/bpf — the Attach bug lived
+// there — even though the package stays exempt from the selector rules.
+func TestCheckDirRunRuleReachesBpfPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/bpf/attach.go": `package bpf
+
+type loaded struct{}
+
+func (loaded) Run() (uint64, int64, error) { return 0, 0, nil }
+
+func attach(lp loaded) {
+	go lp.Run() // the original Attach bug shape
+}
+`,
+	})
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != RuleDiscardedRunError {
+		t.Fatalf("run rule did not reach internal/bpf: %v", diags)
+	}
+}
+
 // TestRepoIsClean runs the analysis over the repository itself: the gate
 // `make lint` enforces must hold for the checked-in tree.
 func TestRepoIsClean(t *testing.T) {

@@ -1,0 +1,481 @@
+package bpf
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tscout/internal/kernel"
+	"tscout/internal/sim"
+)
+
+// This file tests the post-verify JIT (compile.go): the compiled path must
+// be observationally identical to the interpreter — same R0, same cost
+// accounting, same helper trace, printk, and map end-states — and every
+// decline reason must fall back to the interpreter cleanly. The named
+// TestCompileRegression_* cases pin interpreter-vs-compiled divergences
+// that the differential harness is prone to (scalar/pointer dispatch,
+// unsigned ALU edge cases, helper object identity); each also has a raw
+// corpus entry under testdata/fuzz/FuzzOptimize so the fuzzers keep
+// revisiting the exact programs.
+
+// assertCompiledAgreement runs p's instructions twice against fresh
+// kernels, tasks, and map tables — once interpreted, once through the JIT
+// (which may decline and fall back) — and fails on any observable
+// divergence. Returns the compile outcome so callers can assert on it.
+func assertCompiledAgreement(t *testing.T, p *Program, seed int64) CompileInfo {
+	t.Helper()
+	ir := runExecVariant(p.Name+"/interp", p.Insns, seed, false)
+	cr := runExecVariant(p.Name+"/jit", p.Insns, seed, true)
+	if (ir.err == nil) != (cr.err == nil) ||
+		(ir.err != nil && ir.err.Error() != cr.err.Error()) {
+		t.Fatalf("error diverged (compiled=%v reason=%q):\ninterp   %v\ncompiled %v\n%s",
+			cr.info.Compiled, cr.info.Reason, ir.err, cr.err, p.Disassemble())
+	}
+	if ir.r0 != cr.r0 {
+		t.Fatalf("R0 diverged: interp %#x, compiled %#x (reason=%q)\n%s",
+			ir.r0, cr.r0, cr.info.Reason, p.Disassemble())
+	}
+	if ir.cost != cr.cost {
+		t.Fatalf("cost diverged: interp %d, compiled %d\n%s", ir.cost, cr.cost, p.Disassemble())
+	}
+	if !reflect.DeepEqual(ir.trace, cr.trace) {
+		t.Fatalf("helper traces diverged:\ninterp   %v\ncompiled %v\n%s",
+			ir.trace, cr.trace, p.Disassemble())
+	}
+	if !reflect.DeepEqual(ir.printk, cr.printk) {
+		t.Fatalf("printk diverged:\ninterp   %v\ncompiled %v\n%s",
+			ir.printk, cr.printk, p.Disassemble())
+	}
+	for i := range ir.maps {
+		if ir.maps[i] != cr.maps[i] {
+			t.Fatalf("map %d end-state diverged:\ninterp   %s\ncompiled %s\n%s",
+				i, ir.maps[i], cr.maps[i], p.Disassemble())
+		}
+	}
+	return cr.info
+}
+
+func genMapsBuilder(name string) *Builder {
+	b := NewBuilder(name)
+	for _, m := range NewGenMaps() {
+		b.AddMap(m)
+	}
+	return b
+}
+
+func TestCompileDispatchCounters(t *testing.T) {
+	p := genMapsBuilder("jit/counters").Mov(R0, 7).Exit().MustBuild()
+	lp, err := Load(p, 0)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	info := lp.Compile()
+	if !info.Compiled || info.Reason != "" {
+		t.Fatalf("straight-line program declined: %+v", info)
+	}
+	if lp.CompileInfo() != info {
+		t.Fatalf("CompileInfo not retained: %+v vs %+v", lp.CompileInfo(), info)
+	}
+	k := kernel.New(sim.LargeHW, 1, 0)
+	task := k.NewTask("jit")
+	r0, _, rerr := lp.Run(task, nil)
+	if rerr != nil || r0 != 7 {
+		t.Fatalf("compiled run: r0=%d err=%v", r0, rerr)
+	}
+	if r0, _, rerr = lp.RunInterpreted(task, nil); rerr != nil || r0 != 7 {
+		t.Fatalf("interpreted run: r0=%d err=%v", r0, rerr)
+	}
+	st := lp.JITStats()
+	if !st.Compiled || st.CompiledRuns != 1 || st.InterpRuns != 1 || st.RuntimeFaults != 0 {
+		t.Fatalf("dispatch counters: %+v", st)
+	}
+	if lp.Runs() != 2 {
+		t.Fatalf("total runs %d, want 2", lp.Runs())
+	}
+}
+
+// TestRuntimeFaultsCountedOnAttach is the regression test for the Attach
+// error-swallowing bug: a runtime fault during an attached hit must be
+// counted, not silently dropped, while the partial cost is still charged.
+func TestRuntimeFaultsCountedOnAttach(t *testing.T) {
+	// Hand-constructed (unverifiable) program: dereferences scalar R1=0.
+	p := &Program{Name: "jit/fault", Insns: []Insn{
+		{Op: OpLoad, Dst: R0, Src: R1},
+		{Op: OpExit},
+	}}
+	lp := &LoadedProgram{prog: p, ptrALU: make([]bool, len(p.Insns))}
+	k := kernel.New(sim.LargeHW, 1, 0)
+	tp := k.Tracepoint("jit/fault-tp")
+	lp.Attach(tp)
+	task := k.NewTask("t")
+	task.HitTracepoint(tp, nil)
+	task.HitTracepoint(tp, nil)
+	if got := lp.RuntimeFaults(); got != 2 {
+		t.Fatalf("RuntimeFaults = %d, want 2", got)
+	}
+	if tp.Hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", tp.Hits.Load())
+	}
+	if task.KernelInstrumentationNS == 0 {
+		t.Fatal("faulted hits charged no kernel time (mode switch at minimum)")
+	}
+}
+
+func TestCompileFallbackMatchesInterpreter(t *testing.T) {
+	t.Run(DeclineBackEdge, func(t *testing.T) {
+		p := genMapsBuilder("jit/loop").
+			Mov(R1, 4).
+			Label("top").
+			Sub(R1, 1).
+			JneLoop(R1, 0, "top", 8).
+			Mov(R0, 7).
+			Exit().
+			MustBuild()
+		lp, err := Load(p, 0)
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		info := lp.Compile()
+		if info.Compiled || info.Reason != DeclineBackEdge {
+			t.Fatalf("bounded loop not declined as back-edge: %+v", info)
+		}
+		assertCompiledAgreement(t, p, 3)
+		k := kernel.New(sim.LargeHW, 1, 0)
+		task := k.NewTask("jit")
+		r0, _, rerr := lp.Run(task, nil)
+		if rerr != nil || r0 != 7 {
+			t.Fatalf("fallback run: r0=%d err=%v", r0, rerr)
+		}
+		st := lp.JITStats()
+		if st.CompiledRuns != 0 || st.InterpRuns != 1 {
+			t.Fatalf("declined program dispatched through JIT: %+v", st)
+		}
+	})
+
+	t.Run(DeclineNoAnalysis, func(t *testing.T) {
+		p := &Program{Name: "jit/no-analysis", Insns: []Insn{
+			{Op: OpMovImm, Dst: R0, Imm: 9},
+			{Op: OpExit},
+		}}
+		lp := &LoadedProgram{prog: p, ptrALU: make([]bool, len(p.Insns))}
+		info := lp.Compile()
+		if info.Compiled || info.Reason != DeclineNoAnalysis {
+			t.Fatalf("analysis-less program not declined: %+v", info)
+		}
+		k := kernel.New(sim.LargeHW, 1, 0)
+		r0, _, rerr := lp.Run(k.NewTask("t"), nil)
+		if rerr != nil || r0 != 9 {
+			t.Fatalf("fallback run: r0=%d err=%v", r0, rerr)
+		}
+	})
+
+	t.Run(DeclineUnsupportedOpcode, func(t *testing.T) {
+		cc := testCompiler(t)
+		if _, reason := cc.buildInsn(0, Insn{Op: Op(250)}); reason != DeclineUnsupportedOpcode {
+			t.Fatalf("reason %q, want %q", reason, DeclineUnsupportedOpcode)
+		}
+	})
+
+	t.Run(DeclineUnprovenAccess, func(t *testing.T) {
+		cc := testCompiler(t)
+		// R5 is uninitialized at pc 0: no proof it points anywhere.
+		if _, reason := cc.buildInsn(0, Insn{Op: OpLoad, Dst: R0, Src: R5}); reason != DeclineUnprovenAccess {
+			t.Fatalf("load reason %q, want %q", reason, DeclineUnprovenAccess)
+		}
+		if _, reason := cc.buildInsn(0, Insn{Op: OpStore, Dst: R5, Src: R0}); reason != DeclineUnprovenAccess {
+			t.Fatalf("store reason %q, want %q", reason, DeclineUnprovenAccess)
+		}
+	})
+
+	t.Run(DeclineMalformed, func(t *testing.T) {
+		p := &Program{Name: "jit/wild-jump", Insns: []Insn{
+			{Op: OpJa, Off: 5},
+			{Op: OpExit},
+		}}
+		lp := &LoadedProgram{prog: p, ptrALU: make([]bool, len(p.Insns)), analysis: &Analysis{}}
+		if info := lp.Compile(); info.Compiled || info.Reason != DeclineMalformed {
+			t.Fatalf("out-of-range jump not declined: %+v", info)
+		}
+	})
+}
+
+// testCompiler builds a compiler over a trivial verified program so decline
+// paths can be probed instruction by instruction.
+func testCompiler(t *testing.T) *compiler {
+	t.Helper()
+	p := &Program{Name: "jit/probe", Insns: []Insn{
+		{Op: OpMovImm, Dst: R0, Imm: 1},
+		{Op: OpExit},
+	}}
+	lp, err := Load(p, 0)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	cc := &compiler{lp: lp, p: p, a: lp.analysis}
+	cc.fns = make([]copFn, len(p.Insns))
+	if !cc.markTargets() {
+		t.Fatal("markTargets failed on trivial program")
+	}
+	return cc
+}
+
+// TestCompileGeneratedProgramsAgree sweeps the constructive generator as an
+// inline differential oracle (the always-on complement of FuzzOptimize's
+// compiled mode) and requires that a healthy fraction of generated
+// programs actually compile rather than all falling back.
+func TestCompileGeneratedProgramsAgree(t *testing.T) {
+	compiled := 0
+	for seed := int64(1); seed <= 150; seed++ {
+		p := GenProgram(seed, int(seed%40)+1)
+		if err := Verify(p, fuzzMaxInsns); err != nil {
+			t.Fatalf("seed %d: generated program rejected: %v", seed, err)
+		}
+		info := assertCompiledAgreement(t, p, seed)
+		if info.Compiled {
+			compiled++
+		} else if info.Reason != DeclineBackEdge {
+			t.Fatalf("seed %d: verified loop-free program declined (%q):\n%s",
+				seed, info.Reason, p.Disassemble())
+		}
+	}
+	t.Logf("compiled %d/150 generated programs", compiled)
+	if compiled < 20 {
+		t.Fatalf("only %d/150 generated programs compiled", compiled)
+	}
+}
+
+func jitHighBitProgram() *Program {
+	return genMapsBuilder("jit/high-bit").
+		Mov(R1, 1).Lsh(R1, 63).Add(R1, 5).
+		MovReg(R0, R1).
+		Exit().
+		MustBuild()
+}
+
+// Divergence found during development: the interpreter dispatches pointer
+// arithmetic on the verifier's static kind, and an early JIT draft
+// dispatched on the value's runtime tag bits instead — a scalar whose bit
+// 63 is set would then take the pointer path and corrupt its low 32 bits.
+func TestCompileRegression_ScalarHighBitALU(t *testing.T) {
+	info := assertCompiledAgreement(t, jitHighBitProgram(), 1)
+	if !info.Compiled {
+		t.Fatalf("straight-line program declined: %+v", info)
+	}
+}
+
+// Divergence found during development: div/mod are unsigned on the raw bit
+// pattern and yield 0 on a zero divisor; a signed specialization (or one
+// that panics on division by zero) diverges or crashes. The verifier
+// statically rejects constant zero divisors, so the zero arrives through
+// an out-of-range get_tracepoint_arg the verifier cannot bound.
+func TestCompileRegression_DivModByZero(t *testing.T) {
+	p := jitDivZeroProgram()
+	if err := Verify(p, 0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	info := assertCompiledAgreement(t, p, 1)
+	if !info.Compiled {
+		t.Fatalf("straight-line program declined: %+v", info)
+	}
+}
+
+func jitDivZeroProgram() *Program {
+	return &Program{Name: "jit/div-zero", Insns: []Insn{
+		{Op: OpMovImm, Dst: R1, Imm: 99},
+		{Op: OpCall, Imm: HelperGetArg}, // OOB index → R0 = 0 at runtime
+		{Op: OpMovReg, Dst: R2, Src: R0},
+		{Op: OpMovImm, Dst: R1, Imm: 10},
+		{Op: OpDivReg, Dst: R1, Src: R2}, // 10/0 → 0
+		{Op: OpMovImm, Dst: R3, Imm: -7},
+		{Op: OpModReg, Dst: R3, Src: R2}, // -7%0 → 0
+		{Op: OpMovImm, Dst: R4, Imm: -7},
+		{Op: OpDivImm, Dst: R4, Imm: 2}, // unsigned: huge, not -3
+		{Op: OpAddReg, Dst: R1, Src: R3},
+		{Op: OpAddReg, Dst: R1, Src: R4},
+		{Op: OpMovReg, Dst: R0, Src: R1},
+		{Op: OpExit},
+	}, Maps: NewGenMaps()}
+}
+
+// Divergence found during development: shift amounts mask to the low 6
+// bits (68 shifts by 4), arithmetic right shift propagates the sign bit,
+// and Neg wraps MinInt64 to itself — all must match evalALU bit-for-bit.
+// Immediate shifts ≥64 are statically rejected, so the oversized amounts
+// are computed at runtime from a tracepoint argument (args[3] = 4).
+func TestCompileRegression_ShiftMaskingArshNeg(t *testing.T) {
+	p := jitShiftMaskProgram()
+	if err := Verify(p, 0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	info := assertCompiledAgreement(t, p, 1)
+	if !info.Compiled {
+		t.Fatalf("straight-line program declined: %+v", info)
+	}
+}
+
+func jitShiftMaskProgram() *Program {
+	return &Program{Name: "jit/shift-mask", Insns: []Insn{
+		{Op: OpMovImm, Dst: R1, Imm: 3},
+		{Op: OpCall, Imm: HelperGetArg}, // R0 = args[3] = 4
+		{Op: OpMovReg, Dst: R6, Src: R0},
+		{Op: OpMulImm, Dst: R6, Imm: 17}, // 68
+		{Op: OpMovReg, Dst: R7, Src: R0},
+		{Op: OpMulImm, Dst: R7, Imm: 16},
+		{Op: OpAddImm, Dst: R7, Imm: 1}, // 65
+		{Op: OpMovImm, Dst: R1, Imm: 255},
+		{Op: OpLshReg, Dst: R1, Src: R6}, // 68&63 = 4 → 0xFF0
+		{Op: OpMovImm, Dst: R2, Imm: -8},
+		{Op: OpArshReg, Dst: R2, Src: R7}, // 65&63 = 1 → -4
+		{Op: OpAddReg, Dst: R1, Src: R2},
+		{Op: OpMovImm, Dst: R3, Imm: math.MinInt64},
+		{Op: OpNeg, Dst: R3}, // wraps to MinInt64
+		{Op: OpAddReg, Dst: R1, Src: R3},
+		{Op: OpMovReg, Dst: R0, Src: R1},
+		{Op: OpExit},
+	}, Maps: NewGenMaps()}
+}
+
+// Divergence found during development: conditional jumps compare unsigned,
+// so jgt r1, -1 with r1=1 must fall through (1 > 0xFFFF…FFFF is false); a
+// signed comparison takes the branch.
+func jitUnsignedCompareProgram() *Program {
+	return genMapsBuilder("jit/ucmp").
+		Mov(R1, 1).
+		Jgt(R1, -1, "big").
+		Mov(R0, 5).
+		Exit().
+		Label("big").
+		Mov(R0, 9).
+		Exit().
+		MustBuild()
+}
+
+func TestCompileRegression_UnsignedCompareNegImm(t *testing.T) {
+	info := assertCompiledAgreement(t, jitUnsignedCompareProgram(), 1)
+	if !info.Compiled {
+		t.Fatalf("forward-branch program declined: %+v", info)
+	}
+}
+
+// Divergence found during development: stack_pop writes its output buffer
+// only on success; on failure R0=1 and the buffer keeps its prior bytes.
+// A devirtualized pop that unconditionally copies diverges on the empty
+// stack. Same program the optimizer pins (popFailureRegression).
+func TestCompileRegression_StackPopFailure(t *testing.T) {
+	p := popFailureRegression()
+	info := assertCompiledAgreement(t, p, 1)
+	if !info.Compiled {
+		t.Fatalf("pop program declined: %+v", info)
+	}
+}
+
+// Divergence found during development: every map lookup registers a fresh
+// object id even for the same backing value, and the recorded trace (and
+// any pointer stored to a map) exposes those ids. The compiled path must
+// register objects in the same order as the interpreter, and two handles
+// to one map value must alias.
+func TestCompileRegression_MapLookupObjectIdentity(t *testing.T) {
+	info := assertCompiledAgreement(t, jitLookupIdentityProgram(), 1)
+	if !info.Compiled {
+		t.Fatalf("lookup program declined: %+v", info)
+	}
+}
+
+func jitLookupIdentityProgram() *Program {
+	return genMapsBuilder("jit/lookup-identity").
+		StoreImm(R10, -8, 42). // key
+		StoreImm(R10, -24, 7). // value word 0
+		StoreImm(R10, -16, 9). // value word 1
+		LoadMapPtr(R1, genMapHash).
+		MovReg(R2, R10).Sub(R2, 8).
+		MovReg(R3, R10).Sub(R3, 24).
+		Call(HelperMapUpdate).
+		LoadMapPtr(R1, genMapHash).
+		MovReg(R2, R10).Sub(R2, 8).
+		Call(HelperMapLookup). // first handle
+		MovReg(R6, R0).
+		Jeq(R6, 0, "miss").
+		Load(R7, R6, 0). // read word 0 (7) through handle 1
+		LoadMapPtr(R1, genMapHash).
+		MovReg(R2, R10).Sub(R2, 8).
+		Call(HelperMapLookup). // second handle, distinct object id
+		MovReg(R8, R0).
+		Jeq(R8, 0, "miss").
+		Store(R8, 8, R7). // write word 1 through handle 2
+		Load(R0, R6, 8).  // read it back through handle 1 (must alias)
+		Exit().
+		Label("miss").
+		Mov(R0, 0).
+		Exit().
+		MustBuild()
+}
+
+var updateJITCorpus = flag.Bool("update-jit-corpus", false,
+	"rewrite the pinned JIT regression corpus entries under testdata")
+
+// jitRegressionCorpus maps each named interpreter-vs-JIT regression to its
+// pinned FuzzOptimize corpus entry. The entries use raw mode (seed < 0:
+// the byte payload is the wire-encoded program), so the exact
+// divergence-triggering instruction sequences keep being revisited by the
+// fuzzer even as the generator and mutator evolve.
+func jitRegressionCorpus() map[string]*Program {
+	return map[string]*Program{
+		"seed-jit-high-bit":        jitHighBitProgram(),
+		"seed-jit-div-zero":        jitDivZeroProgram(),
+		"seed-jit-shift-mask":      jitShiftMaskProgram(),
+		"seed-jit-ucmp":            jitUnsignedCompareProgram(),
+		"seed-jit-lookup-identity": jitLookupIdentityProgram(),
+	}
+}
+
+// TestCompileRegressionCorpusPinned keeps the checked-in corpus entries in
+// lockstep with the regression programs above. Regenerate after editing a
+// program with:
+//
+//	go test ./internal/bpf -run CorpusPinned -update-jit-corpus
+func TestCompileRegressionCorpusPinned(t *testing.T) {
+	for name, p := range jitRegressionCorpus() {
+		path := filepath.Join("testdata", "fuzz", "FuzzOptimize", name)
+		entry := fmt.Sprintf("go test fuzz v1\nint64(-1)\nbyte('\\x00')\n[]byte(%q)\n",
+			EncodeInsns(p.Insns))
+		if *updateJITCorpus {
+			if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update-jit-corpus)", path, err)
+		}
+		if string(got) != entry {
+			t.Fatalf("%s is stale relative to its regression program; regenerate with -update-jit-corpus", path)
+		}
+	}
+}
+
+// TestCostRoundsHalfUp pins the cost() rounding fix: fractional
+// per-instruction nanoseconds round half-up instead of truncating.
+func TestCostRoundsHalfUp(t *testing.T) {
+	cases := []struct {
+		insns    int
+		helperNS int64
+		insnNS   float64
+		want     int64
+	}{
+		{3, 0, 0.25, 1},     // 0.75 rounds up (was 0)
+		{2, 0, 0.25, 1},     // exactly .5 rounds half-up
+		{1, 0, 0.24, 0},     // 0.74 still truncates
+		{100, 10, 0.25, 35}, // whole values unchanged
+	}
+	for _, c := range cases {
+		if got := cost(c.insns, c.helperNS, c.insnNS); got != c.want {
+			t.Fatalf("cost(%d, %d, %v) = %d, want %d", c.insns, c.helperNS, c.insnNS, got, c.want)
+		}
+	}
+}

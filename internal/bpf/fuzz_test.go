@@ -50,7 +50,10 @@ func checkRejection(t *testing.T, p *Program, err error) {
 // checkAcceptedRuns asserts the accept side of the oracle: the program
 // must load and run without a runtime fault. ErrInsnBudget is tolerated
 // only for programs with a back-edge (lying LoopBound declarations are an
-// accepted divergence); ErrRuntime is always a verifier bug.
+// accepted divergence); ErrRuntime is always a verifier bug. It then runs
+// the interpreter-vs-JIT differential: compiled execution (or the decline
+// fallback) must agree bit-exactly on R0, cost, helper trace, printk, and
+// map end-states.
 func checkAcceptedRuns(t *testing.T, p *Program, seed int64) {
 	t.Helper()
 	lp, err := Load(p, fuzzMaxInsns)
@@ -72,6 +75,7 @@ func checkAcceptedRuns(t *testing.T, p *Program, seed int64) {
 	default:
 		t.Fatalf("verified program faulted: %v\n%s", rerr, p.Disassemble())
 	}
+	assertCompiledAgreement(t, p, seed)
 }
 
 // FuzzVerify feeds raw instruction streams (the 20-byte wire form of

@@ -33,6 +33,9 @@ const (
 	R10
 
 	numRegs = 11
+	// regSlots pads the runtime register file to the next power of two so a
+	// masked byte index provably stays in bounds (see execState.regs).
+	regSlots = 16
 )
 
 // StackSize is the per-invocation stack available below R10.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Map errors.
@@ -54,6 +55,12 @@ type HashMap struct {
 
 	mu sync.Mutex
 	m  map[string][]byte
+	// count mirrors len(m), maintained under mu but readable lock-free:
+	// Collector programs issue unconditional cleanup deletes and probe
+	// lookups against maps that are empty in steady state, and a count of
+	// zero at the atomic load is a valid linearization of "not present" —
+	// those calls skip the lock entirely.
+	count atomic.Int64
 }
 
 // NewHashMap creates a hash map with fixed key/value sizes.
@@ -78,23 +85,25 @@ func (h *HashMap) MaxEntries() int { return h.maxEntries }
 
 // Len returns the current entry count.
 func (h *HashMap) Len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.m)
+	return int(h.count.Load())
 }
 
 // Lookup returns the value stored for key (aliasing the internal buffer),
 // or nil if absent or the key is the wrong size.
 func (h *HashMap) Lookup(key []byte) []byte {
-	if len(key) != h.keySize {
+	if len(key) != h.keySize || h.count.Load() == 0 {
 		return nil
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.m[string(key)]
+	v := h.m[string(key)] // string(key) here does not allocate
+	h.mu.Unlock()
+	return v
 }
 
-// Update inserts or replaces the value for key (the value is copied).
+// Update inserts or replaces the value for key (the value is copied). An
+// existing slot is overwritten in place — consistent with the aliasing
+// Lookup contract, a map-value pointer observes the update — which keeps
+// the marker hot path free of per-update allocations.
 func (h *HashMap) Update(key, value []byte) error {
 	if len(key) != h.keySize {
 		return ErrBadKeySize
@@ -103,14 +112,20 @@ func (h *HashMap) Update(key, value []byte) error {
 		return ErrBadValSize
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	sk := string(key)
-	if _, ok := h.m[sk]; !ok && len(h.m) >= h.maxEntries {
+	if dst, ok := h.m[string(key)]; ok {
+		copy(dst, value)
+		h.mu.Unlock()
+		return nil
+	}
+	if len(h.m) >= h.maxEntries {
+		h.mu.Unlock()
 		return ErrMapFull
 	}
 	v := make([]byte, h.valueSize)
 	copy(v, value)
-	h.m[sk] = v
+	h.m[string(key)] = v
+	h.count.Store(int64(len(h.m)))
+	h.mu.Unlock()
 	return nil
 }
 
@@ -131,14 +146,16 @@ func (h *HashMap) Range(fn func(key, value []byte) bool) {
 
 // Delete removes key.
 func (h *HashMap) Delete(key []byte) bool {
-	if len(key) != h.keySize {
+	if len(key) != h.keySize || h.count.Load() == 0 {
 		return false
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	sk := string(key)
-	_, ok := h.m[sk]
-	delete(h.m, sk)
+	_, ok := h.m[string(key)]
+	if ok {
+		delete(h.m, string(key))
+		h.count.Store(int64(len(h.m)))
+	}
+	h.mu.Unlock()
 	return ok
 }
 
@@ -215,13 +232,21 @@ func (a *ArrayMap) Delete(key []byte) bool {
 // StackMap is a LIFO stack of fixed-size values (BPF_MAP_TYPE_STACK). The
 // Collector uses one per task to handle recursive operators: BEGIN pushes an
 // OU invocation entry, FEATURES pops and type-checks it (paper §5.2).
+//
+// Elements live in one flat backing array (slot i at [i*valueSize,
+// (i+1)*valueSize)): pushes past the high-water mark grow it once and then
+// reuse the capacity forever, so the marker hot path allocates nothing.
+// Pop and Lookup return views into the backing — a popped view is only
+// valid until the next Push, which is why both in-kernel helpers copy the
+// element out immediately.
 type StackMap struct {
 	name       string
 	valueSize  int
 	maxEntries int
 
 	mu    sync.Mutex
-	items [][]byte
+	data  []byte
+	depth int
 }
 
 // NewStackMap creates a stack map holding at most maxEntries values.
@@ -244,8 +269,9 @@ func (s *StackMap) MaxEntries() int { return s.maxEntries }
 // Len returns the current depth.
 func (s *StackMap) Len() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.items)
+	n := s.depth
+	s.mu.Unlock()
+	return n
 }
 
 // Lookup returns the top of the stack without popping (peek), or nil when
@@ -253,10 +279,10 @@ func (s *StackMap) Len() int {
 func (s *StackMap) Lookup(key []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.items) == 0 {
+	if s.depth == 0 {
 		return nil
 	}
-	return s.items[len(s.items)-1]
+	return s.data[(s.depth-1)*s.valueSize : s.depth*s.valueSize]
 }
 
 // Update pushes a value (the key is ignored).
@@ -276,50 +302,61 @@ func (s *StackMap) Push(value []byte) error {
 		return ErrBadValSize
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.items) >= s.maxEntries {
+	if s.depth >= s.maxEntries {
+		s.mu.Unlock()
 		return ErrMapFull
 	}
-	v := make([]byte, s.valueSize)
-	copy(v, value)
-	s.items = append(s.items, v)
+	s.data = append(s.data[:s.depth*s.valueSize], value...)
+	s.depth++
+	s.mu.Unlock()
 	return nil
 }
 
-// Pop removes and returns the top element.
+// Pop removes and returns the top element. The returned view is valid
+// until the next Push reuses the slot; callers that retain it must copy.
 func (s *StackMap) Pop() ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.items) == 0 {
+	if s.depth == 0 {
+		s.mu.Unlock()
 		return nil, ErrStackEmpty
 	}
-	v := s.items[len(s.items)-1]
-	s.items = s.items[:len(s.items)-1]
+	s.depth--
+	v := s.data[s.depth*s.valueSize : (s.depth+1)*s.valueSize : (s.depth+1)*s.valueSize]
+	s.mu.Unlock()
 	return v, nil
 }
 
 // Clear empties the stack (the Collector's state-machine reset, §5.1).
 func (s *StackMap) Clear() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = s.items[:0]
+	s.depth = 0
+	s.mu.Unlock()
 }
 
 // PerTaskMap stores one fixed-size value per task PID; it stands in for
 // BPF per-CPU / per-task storage used to snapshot probe results at BEGIN
 // markers without cross-thread synchronization (the "no back pressure"
 // property, paper §3).
+//
+// The PID→slot index is copy-on-write: the hot path (every marker hit
+// looks up its task's slot) reads an immutable snapshot with no lock, and
+// only the first access by a new PID — or a Delete — takes the mutex to
+// publish a rebuilt snapshot. Slot buffers are shared across snapshots,
+// so in-place mutation through a looked-up slot persists as before.
 type PerTaskMap struct {
 	name      string
 	valueSize int
 
-	mu sync.Mutex
-	m  map[uint64][]byte
+	mu   sync.Mutex // serializes snapshot rebuilds
+	snap atomic.Pointer[map[uint64][]byte]
 }
 
 // NewPerTaskMap creates an empty per-task map.
 func NewPerTaskMap(name string, valueSize int) *PerTaskMap {
-	return &PerTaskMap{name: name, valueSize: valueSize, m: make(map[uint64][]byte)}
+	p := &PerTaskMap{name: name, valueSize: valueSize}
+	m := make(map[uint64][]byte)
+	p.snap.Store(&m)
+	return p
 }
 
 // Name returns the map name.
@@ -336,9 +373,7 @@ func (p *PerTaskMap) MaxEntries() int { return 0 }
 
 // Len returns the number of tasks with a slot.
 func (p *PerTaskMap) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.m)
+	return len(*p.snap.Load())
 }
 
 // Lookup returns the slot for the PID in key, creating a zeroed slot on
@@ -348,13 +383,22 @@ func (p *PerTaskMap) Lookup(key []byte) []byte {
 		return nil
 	}
 	pid := U64(key)
+	if v, ok := (*p.snap.Load())[pid]; ok {
+		return v
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	v, ok := p.m[pid]
-	if !ok {
-		v = make([]byte, p.valueSize)
-		p.m[pid] = v
+	cur := *p.snap.Load() // re-check: another writer may have added it
+	if v, ok := cur[pid]; ok {
+		return v
 	}
+	next := make(map[uint64][]byte, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	v := make([]byte, p.valueSize)
+	next[pid] = v
+	p.snap.Store(&next)
 	return v
 }
 
@@ -371,14 +415,12 @@ func (p *PerTaskMap) Update(key, value []byte) error {
 	return nil
 }
 
-// Range calls fn for every existing slot under the map lock (keys are the
-// slot ids, values the live buffers); returning false stops the walk. Like
-// HashMap.Range it serves user-space maintenance sweeps, and fn must not
-// call back into the map.
+// Range calls fn for every slot in the current snapshot (keys are the
+// slot ids, values the live buffers); returning false stops the walk.
+// Like HashMap.Range it serves user-space maintenance sweeps; fn sees
+// slots that existed when the walk started.
 func (p *PerTaskMap) Range(fn func(key uint64, value []byte) bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, v := range p.m {
+	for k, v := range *p.snap.Load() {
 		if !fn(k, v) {
 			return
 		}
@@ -390,10 +432,19 @@ func (p *PerTaskMap) Delete(key []byte) bool {
 	if len(key) != 8 {
 		return false
 	}
+	pid := U64(key)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	pid := U64(key)
-	_, ok := p.m[pid]
-	delete(p.m, pid)
-	return ok
+	cur := *p.snap.Load()
+	if _, ok := cur[pid]; !ok {
+		return false
+	}
+	next := make(map[uint64][]byte, len(cur))
+	for k, v := range cur {
+		if k != pid {
+			next[k] = v
+		}
+	}
+	p.snap.Store(&next)
+	return true
 }

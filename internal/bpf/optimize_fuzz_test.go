@@ -43,19 +43,18 @@ func mapFingerprint(m Map) string {
 	case *StackMap:
 		mm.mu.Lock()
 		defer mm.mu.Unlock()
-		return fmt.Sprintf("stack:%x", mm.items)
+		return fmt.Sprintf("stack:%d:%x", mm.depth, mm.data[:mm.depth*mm.valueSize])
 	case *PerTaskMap:
-		mm.mu.Lock()
-		pids := make([]uint64, 0, len(mm.m))
-		for pid := range mm.m {
+		snap := *mm.snap.Load()
+		pids := make([]uint64, 0, len(snap))
+		for pid := range snap {
 			pids = append(pids, pid)
 		}
 		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 		var b strings.Builder
 		for _, pid := range pids {
-			fmt.Fprintf(&b, "%d=%x;", pid, mm.m[pid])
+			fmt.Fprintf(&b, "%d=%x;", pid, snap[pid])
 		}
-		mm.mu.Unlock()
 		return "pertask:" + b.String()
 	case *PerfRingBuffer:
 		st := mm.Stats()
@@ -67,26 +66,40 @@ func mapFingerprint(m Map) string {
 
 // optVariantResult is one program execution observed in full.
 type optVariantResult struct {
-	r0    uint64
-	cost  int64
-	err   error
-	trace []HelperCall
-	maps  []string
+	r0     uint64
+	cost   int64
+	err    error
+	trace  []HelperCall
+	printk []uint64
+	maps   []string
+	info   CompileInfo
 }
 
 // runOptVariant runs insns against a fresh kernel, task, and map table so
 // both sides of the differential comparison start from identical state.
 func runOptVariant(name string, insns []Insn, seed int64) optVariantResult {
+	return runExecVariant(name, insns, seed, false)
+}
+
+// runExecVariant is runOptVariant with an execution-engine choice: compile
+// selects the JIT (falling back to the interpreter only if the compiler
+// declines, recorded in the result's info).
+func runExecVariant(name string, insns []Insn, seed int64, compile bool) optVariantResult {
 	p := &Program{Name: name, Insns: insns, Maps: NewGenMaps()}
 	lp, err := Load(p, fuzzMaxInsns)
 	if err != nil {
 		return optVariantResult{err: err}
 	}
+	var info CompileInfo
+	if compile {
+		info = lp.Compile()
+	}
 	lp.SetCallTrace(true)
 	k := kernel.New(sim.LargeHW, seed, 0)
 	task := k.NewTask("fuzz-opt")
 	r0, cost, rerr := lp.Run(task, []uint64{1, 2, 3, 4})
-	res := optVariantResult{r0: r0, cost: cost, err: rerr, trace: lp.CallTrace()}
+	res := optVariantResult{r0: r0, cost: cost, err: rerr,
+		trace: lp.CallTrace(), printk: lp.Printk(), info: info}
 	for _, m := range p.Maps {
 		res.maps = append(res.maps, mapFingerprint(m))
 	}
@@ -179,5 +192,10 @@ func FuzzOptimize(f *testing.F) {
 					i, orig.maps[i], after.maps[i], p.Disassemble(), opt.Disassemble())
 			}
 		}
+
+		// Compiled mode: the JIT must agree bit-exactly with the
+		// interpreter on both the original and the optimized program.
+		assertCompiledAgreement(t, p, seed)
+		assertCompiledAgreement(t, opt, seed)
 	})
 }

@@ -58,7 +58,32 @@ type LoadedProgram struct {
 	// to uninit, which any use rejects), so the flag is well-defined.
 	ptrALU []bool
 
-	runs atomic.Int64
+	// analysis is the abstract-interpretation result Load verified the
+	// program with, retained so Compile can license its check elisions
+	// from the same proofs (DESIGN.md §9). Nil only for hand-constructed
+	// programs that bypassed Load, which Compile declines.
+	analysis *Analysis
+
+	// compiled holds the closure-threaded native form once Compile has
+	// accepted the program; Run dispatches through it when non-nil and
+	// falls back to the interpreter otherwise.
+	compiled atomic.Pointer[compiledProg]
+	// compileInfo records the outcome of the last Compile call (zero
+	// value until Compile runs). Written at load time, before the
+	// program can be attached, so a plain field is safe.
+	compileInfo CompileInfo
+
+	// execPool recycles compiled execution states, fronted by ecCache — a
+	// single-slot atomic cache that makes the common sequential case (one
+	// tracepoint hit at a time) a lock-free swap. Reuse without zeroing
+	// the stack is sound only because the verifier rejects any read of a
+	// stack byte the program did not itself write this invocation.
+	ecCache  atomic.Pointer[execState]
+	execPool sync.Pool
+
+	interpRuns    atomic.Int64
+	compiledRuns  atomic.Int64
+	runtimeFaults atomic.Int64
 
 	printkMu sync.Mutex
 	printk   []uint64
@@ -106,7 +131,9 @@ func (lp *LoadedProgram) recordCall(ec *execState, id int64) {
 }
 
 // Runs returns the number of times the program has been invoked.
-func (lp *LoadedProgram) Runs() int64 { return lp.runs.Load() }
+func (lp *LoadedProgram) Runs() int64 {
+	return lp.interpRuns.Load() + lp.compiledRuns.Load()
+}
 
 // Printk returns a copy of the values logged via HelperTracePrintk.
 func (lp *LoadedProgram) Printk() []uint64 {
@@ -132,7 +159,7 @@ func Load(p *Program, maxInsns int) (*LoadedProgram, error) {
 		k := a.states[pc].regs[in.Dst].kind
 		ptrALU[pc] = k == rkPtrStack || k == rkPtrMapValue
 	}
-	return &LoadedProgram{prog: p, ptrALU: ptrALU}, nil
+	return &LoadedProgram{prog: p, ptrALU: ptrALU, analysis: a}, nil
 }
 
 // Program returns the underlying program.
@@ -140,19 +167,38 @@ func (lp *LoadedProgram) Program() *Program { return lp.prog }
 
 // Attach installs the program on a kernel tracepoint. Each hit pays one
 // mode switch (charged by the kernel) plus the program's execution cost.
+// A tracepoint handler has no error channel back to the kernel, so a
+// runtime fault is counted in RuntimeFaults instead of vanishing: the hit
+// still charges its partial cost, but produced no sample, and the loss
+// accounting (chaos identities, tsctl stats) must be able to see that.
 func (lp *LoadedProgram) Attach(tp *kernel.Tracepoint) {
 	tp.Attach(func(t *kernel.Task, args []uint64) int64 {
-		_, cost, _ := lp.Run(t, args)
+		_, cost, err := lp.Run(t, args)
+		if err != nil {
+			lp.runtimeFaults.Add(1)
+		}
 		return cost
 	})
 }
 
+// RuntimeFaults returns the number of attached-tracepoint hits whose run
+// ended in a runtime fault (and therefore produced no sample).
+func (lp *LoadedProgram) RuntimeFaults() int64 { return lp.runtimeFaults.Load() }
+
 type execState struct {
-	regs    [numRegs]uint64
+	// regs is padded to a power of two (only R0–R10 are architectural) so
+	// the compiled engine's superblock runner can index it with a masked
+	// byte and no bounds check.
+	regs    [regSlots]uint64
 	stack   [StackSize]byte
 	objects [][]byte // object 0 is unused; map-value objects registered at runtime
 	task    *kernel.Task
 	args    []uint64
+
+	// Compiled-path accounting; the interpreter keeps these in locals.
+	executed int
+	helperNS int64
+	err      error
 }
 
 func (ec *execState) registerObject(b []byte) uint64 {
@@ -185,9 +231,28 @@ func (ec *execState) mem(ptr uint64, off int32, size int) ([]byte, error) {
 // Run executes the program for task with the given tracepoint arguments.
 // It returns R0, the virtual-time cost of the execution (instruction count
 // times the profile's per-instruction cost, plus helper costs), and any
-// runtime fault.
+// runtime fault. When Compile has accepted the program, execution threads
+// through the compiled closures; otherwise (never compiled, or declined)
+// it falls back to the interpreter. Both paths produce bit-identical
+// results — R0, cost, helper trace, printk, and map end-states — which
+// the differential fuzz oracles enforce.
 func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, error) {
-	lp.runs.Add(1)
+	if c := lp.compiled.Load(); c != nil {
+		return lp.runCompiled(c, task, args)
+	}
+	lp.interpRuns.Add(1)
+	return lp.runInterp(task, args)
+}
+
+// RunInterpreted executes the program through the interpreter even when a
+// compiled form exists — the reference semantics the differential oracles
+// compare the compiled path against.
+func (lp *LoadedProgram) RunInterpreted(task *kernel.Task, args []uint64) (uint64, int64, error) {
+	lp.interpRuns.Add(1)
+	return lp.runInterp(task, args)
+}
+
+func (lp *LoadedProgram) runInterp(task *kernel.Task, args []uint64) (uint64, int64, error) {
 	p := lp.prog
 	profile := &task.Kernel().Profile
 	ec := &execState{task: task, args: args}
@@ -286,8 +351,12 @@ func (lp *LoadedProgram) Run(task *kernel.Task, args []uint64) (uint64, int64, e
 	}
 }
 
+// cost converts an executed-instruction count into virtual nanoseconds,
+// rounding half-up: profiles charge fractional nanoseconds per instruction
+// (0.24–0.25ns), and truncation would systematically under-charge the
+// kernel noise stream by up to 1ns on every single marker hit.
 func cost(insns int, helperNS int64, insnNS float64) int64 {
-	return int64(float64(insns)*insnNS) + helperNS
+	return int64(float64(insns)*insnNS+0.5) + helperNS
 }
 
 func condTrue(op Op, a, b uint64) bool {

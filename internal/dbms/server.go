@@ -88,6 +88,7 @@ func NewServer(cfg Config) (*Server, error) {
 			DisableProcessorFeedback: cfg.DisableFeedback,
 			ProcessorParallelism:     cfg.ProcessorParallelism,
 			OptimizeCollectors:       true,
+			CompileCollectors:        true,
 		})
 	}
 	eng, err := exec.New(srv.Catalog, ts)

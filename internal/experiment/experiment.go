@@ -118,13 +118,19 @@ func collectOnline(profile sim.HardwareProfile, gen workload.Generator,
 	return runOnline(srv, profile, gen, terminals, txns, rate, seed, false)
 }
 
-// collectOnlineComplete is the data-hungry variant: four sharded drain
-// threads, a deep ring, and an unbudgeted final sweep, so no sample is
-// lost to collector saturation. Experiments whose conclusions depend on
-// the training pool covering the whole run (Fig. 11's high-contention
-// sweep, where 20 terminals oversubscribe a single drain thread several
-// times over) collect with this; the rest keep the production-shaped
-// lossy pipeline.
+// collectOnlineComplete is the data-hungry variant: a deep ring and an
+// unbudgeted final sweep, so no sample is lost to collector saturation.
+// Experiments whose conclusions depend on the training pool covering the
+// whole run (Fig. 11's high-contention sweep, where 20 terminals
+// oversubscribe the budgeted polls several times over) collect with
+// this; the rest keep the production-shaped lossy pipeline.
+//
+// Drain parallelism stays at 1 deliberately: with multiple drain
+// threads the global archive sequence is claimed in wall-clock order,
+// so Points() — and the seeded train/test split downstream — would vary
+// with goroutine scheduling. Completeness comes from ring depth plus
+// the final sweep, not from thread count, and a single thread keeps the
+// collected pool bit-identical across reruns.
 func collectOnlineComplete(profile sim.HardwareProfile, gen workload.Generator,
 	terminals, txns int, rate int, seed int64) (*onlineRun, error) {
 	srv, err := dbms.NewServer(dbms.Config{
@@ -134,7 +140,7 @@ func collectOnlineComplete(profile sim.HardwareProfile, gen workload.Generator,
 		Instrument:           true,
 		Mode:                 tscout.KernelContinuous,
 		DisableFeedback:      true,
-		ProcessorParallelism: 4,
+		ProcessorParallelism: 1,
 		RingCapacity:         1 << 17,
 		WAL:                  wal.Config{GroupSize: 32, FlushIntervalNS: 200_000},
 	})

@@ -34,8 +34,9 @@ type chaosConfig struct {
 	ous      int // workload OU cycles
 	faults   int // faults in the generated plan
 	numCPUs  int
-	ringCap  int // small, so overflow bursts actually overflow
-	drainEvr int // budgeted drain every N cycles
+	ringCap  int  // small, so overflow bursts actually overflow
+	drainEvr int  // budgeted drain every N cycles
+	compile  bool // run the Collectors through the JIT
 }
 
 // runChaos drives one seeded chaos run to quiescence and returns the
@@ -53,6 +54,7 @@ func runChaos(tb testing.TB, cfg chaosConfig) (*TScout, *kernel.FaultInjector) {
 		RingCapacity:             cfg.ringCap,
 		ProcessorParallelism:     cfg.par,
 		DisableProcessorFeedback: true,
+		CompileCollectors:        cfg.compile,
 	})
 	scan := ts.MustRegisterOU(OUDef{
 		ID: testOUSeqScan, Name: "seq_scan", Subsystem: SubsystemExecutionEngine,
@@ -133,12 +135,21 @@ func assertChaosIdentities(tb testing.TB, ts *TScout) OrphanCounts {
 		}
 		ks := st.Kernel[sub]
 		begins := ts.subsystems[sub].beginTP.Hits.Load()
-		// Identity 1: every delivered BEGIN is submitted or orphaned.
-		// EndWithoutBegin is excluded — those ENDs have no BEGIN to account.
+		// Identity 1: every delivered BEGIN is submitted, orphaned, or
+		// faulted. EndWithoutBegin is excluded — those ENDs have no BEGIN
+		// to account. A BEGIN whose program faults pushes no entry, so the
+		// per-program fault counter (which Attach used to discard) is the
+		// bucket that keeps the identity exact.
 		inFlight := ks.Orphans.BeginWithoutEnd + ks.Orphans.TornMigration + ks.Orphans.StaleReaped
-		if begins != rs.Submitted+inFlight {
-			tb.Fatalf("%s begin identity: %d begins != %d submitted + %d orphaned (%+v)",
-				sub, begins, rs.Submitted, inFlight, ks.Orphans)
+		if begins != rs.Submitted+inFlight+col.Begin.RuntimeFaults() {
+			tb.Fatalf("%s begin identity: %d begins != %d submitted + %d orphaned (%+v) + %d faulted",
+				sub, begins, rs.Submitted, inFlight, ks.Orphans, col.Begin.RuntimeFaults())
+		}
+		// Verified Collector programs must never fault at runtime — on
+		// either execution engine. Nonzero here is a verifier or JIT bug.
+		if ks.RuntimeFaults != 0 {
+			tb.Fatalf("%s: %d runtime faults from verified programs (jit=%+v)",
+				sub, ks.RuntimeFaults, st.JIT[sub])
 		}
 		// Identity 2: every submitted sample is archived or counted lost.
 		if rs.Submitted != ks.Points+rs.Dropped+ks.DecodeErrors+ks.CorruptDiscards {
@@ -213,6 +224,34 @@ func TestChaosPipelineIdentity(t *testing.T) {
 	}
 }
 
+// TestChaosPipelineIdentityCompiled re-runs the seed-corpus schedules with
+// the Collectors JIT-compiled: the identities (including zero runtime
+// faults) must hold on the native path exactly as on the interpreter, and
+// the run must actually have dispatched to compiled code.
+func TestChaosPipelineIdentityCompiled(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ts, _ := runChaos(t, chaosConfig{
+				seed: seed, par: 2, ous: 400, faults: 48,
+				numCPUs: 4, ringCap: 16, drainEvr: 25, compile: true,
+			})
+			assertChaosIdentities(t, ts)
+			st := ts.Processor().Stats()
+			if st.TotalCompiledPrograms() == 0 {
+				t.Fatalf("compiled chaos run never JIT-compiled a program: %+v", st.JIT)
+			}
+			var native int64
+			for _, sub := range AllSubsystems {
+				js := st.JIT[sub]
+				native += js.Begin.CompiledRuns + js.End.CompiledRuns + js.Features.CompiledRuns
+			}
+			if native == 0 {
+				t.Fatalf("compiled programs exist but no marker hit dispatched natively: %+v", st.JIT)
+			}
+		})
+	}
+}
+
 // TestChaosCleanScheduleBaseline: the chaos driver with an empty fault plan
 // must produce zero orphans — the harness itself injects no loss.
 func TestChaosCleanScheduleBaseline(t *testing.T) {
@@ -243,6 +282,9 @@ func FuzzFaultSchedule(f *testing.F) {
 		ts, _ := runChaos(t, chaosConfig{
 			seed: seed, par: 1 + int(parSel%4), ous: 120, faults: int(faults),
 			numCPUs: 1 + int(uint64(seed)%4), ringCap: 16, drainEvr: 20,
+			// Half the schedules run the JIT so the fuzzer exercises both
+			// execution engines under the same fault corpus.
+			compile: seed%2 != 0,
 		})
 		assertChaosIdentities(t, ts)
 	})

@@ -30,6 +30,11 @@ type Collector struct {
 	// each program before loading (zero when optimization is disabled).
 	OptStats CollectorOptStats
 
+	// jitEnabled records whether GenerateCollector attempted JIT
+	// compilation; per-program outcomes live on the LoadedPrograms
+	// themselves (see JITStats).
+	jitEnabled bool
+
 	// Ring is the subsystem's per-CPU perf ring set: one bounded ring per
 	// simulated CPU, with perf_event_output routed by the submitting
 	// task's current CPU (the real perf buffer is likewise per-CPU).
@@ -53,6 +58,12 @@ type CollectorConfig struct {
 	// path. The optimizer re-verifies its output, so an enabled pass can
 	// never load a program the verifier would reject.
 	Optimize bool
+	// Compile JIT-compiles each loaded program to closure-threaded native
+	// code (bpf.Compile), eliding the checks the verifier's proof already
+	// covers. Declines are not errors: a declined program simply keeps
+	// running on the interpreter, and the per-program outcome is surfaced
+	// through JITStats.
+	Compile bool
 }
 
 // CollectorOptStats aggregates the optimizer's per-program savings for one
@@ -67,6 +78,51 @@ type CollectorOptStats struct {
 // Saved returns the total instructions removed across the three programs.
 func (s CollectorOptStats) Saved() int {
 	return s.Begin.Saved() + s.End.Saved() + s.Features.Saved()
+}
+
+// CollectorJITStats aggregates per-program JIT outcome and execution-engine
+// dispatch counts for one Collector; surfaced through ProcessorStats and
+// `tsctl stats`.
+type CollectorJITStats struct {
+	Enabled  bool
+	Begin    bpf.ProgramJITStats
+	End      bpf.ProgramJITStats
+	Features bpf.ProgramJITStats
+}
+
+// CompiledPrograms returns how many of the three programs run natively.
+func (s CollectorJITStats) CompiledPrograms() int {
+	n := 0
+	for _, p := range []bpf.ProgramJITStats{s.Begin, s.End, s.Features} {
+		if p.Compiled {
+			n++
+		}
+	}
+	return n
+}
+
+// RuntimeFaults returns the collector-wide runtime fault count. Verified
+// programs should never fault; a nonzero value here is a verifier or JIT
+// bug and is rendered prominently by `tsctl stats`.
+func (s CollectorJITStats) RuntimeFaults() int64 {
+	return s.Begin.RuntimeFaults + s.End.RuntimeFaults + s.Features.RuntimeFaults
+}
+
+// JITStats snapshots the three programs' compile outcomes and dispatch
+// counters (live atomics — safe to call while markers are firing).
+func (c *Collector) JITStats() CollectorJITStats {
+	return CollectorJITStats{
+		Enabled:  c.jitEnabled,
+		Begin:    c.Begin.JITStats(),
+		End:      c.End.JITStats(),
+		Features: c.Features.JITStats(),
+	}
+}
+
+// RuntimeFaults returns the total swallowed-by-Attach runtime faults across
+// the collector's three programs.
+func (c *Collector) RuntimeFaults() int64 {
+	return c.Begin.RuntimeFaults() + c.End.RuntimeFaults() + c.Features.RuntimeFaults()
 }
 
 // NamedProgram pairs a generated (unloaded) program with its marker name;
@@ -183,6 +239,7 @@ func describeVerifyError(name string, p *bpf.Program, err error) error {
 func GenerateCollector(sub SubsystemID, res ResourceSet, cfg CollectorConfig) (*Collector, error) {
 	c := collectorSkeleton(sub, res, cfg.NumCPUs, cfg.PerCPUCapacity)
 	c.OptStats.Enabled = cfg.Optimize
+	c.jitEnabled = cfg.Compile
 	load := func(name string, p *bpf.Program, st *bpf.OptStats) (*bpf.LoadedProgram, error) {
 		if cfg.Optimize {
 			op, stats, err := bpf.Optimize(p, 0)
@@ -195,6 +252,11 @@ func GenerateCollector(sub SubsystemID, res ResourceSet, cfg CollectorConfig) (*
 		lp, err := bpf.Load(p, 0)
 		if err != nil {
 			return nil, describeVerifyError(name+" program", p, err)
+		}
+		if cfg.Compile {
+			// A decline (recorded on the program, visible via JITStats)
+			// falls back to the interpreter; it never fails deployment.
+			lp.Compile()
 		}
 		return lp, nil
 	}

@@ -1071,6 +1071,8 @@ func (p *Processor) Stats() ProcessorStats {
 			st.Kernel[sub].Orphans = col.Orphans()
 			st.Rings[sub] = col.Ring.CPUStats()
 			st.Codegen[sub] = col.OptStats
+			st.JIT[sub] = col.JITStats()
+			st.Kernel[sub].RuntimeFaults = col.RuntimeFaults()
 		}
 	}
 	userClamps := p.ts.userWrapClamps()

@@ -40,6 +40,11 @@ type SubsystemStats struct {
 	// Points counts training points archived for this subsystem (fused
 	// samples expand to several points).
 	Points int64
+	// RuntimeFaults counts marker-context program executions that returned
+	// a runtime error (kernel shards only). The verifier proves these
+	// impossible for generated Collectors, so any nonzero value is a
+	// verifier or JIT bug — previously Attach silently swallowed them.
+	RuntimeFaults int64
 
 	// Orphans classifies OU invocations that entered the Collector but
 	// never completed as a sample (kernel shards only; see OrphanCounts).
@@ -111,6 +116,11 @@ type ProcessorStats struct {
 	// (Enabled=false everywhere when Config.OptimizeCollectors is off or
 	// in user modes).
 	Codegen [NumSubsystems]CollectorOptStats
+
+	// JIT holds the per-subsystem Collector compile outcomes and
+	// interpreter/compiled dispatch counters (Enabled=false everywhere
+	// when Config.CompileCollectors is off or in user modes).
+	JIT [NumSubsystems]CollectorJITStats
 }
 
 // TotalInsnsSaved sums optimizer savings across every subsystem's three
@@ -119,6 +129,26 @@ func (s *ProcessorStats) TotalInsnsSaved() int {
 	n := 0
 	for i := range s.Codegen {
 		n += s.Codegen[i].Saved()
+	}
+	return n
+}
+
+// TotalCompiledPrograms counts Collector programs running natively across
+// every subsystem.
+func (s *ProcessorStats) TotalCompiledPrograms() int {
+	n := 0
+	for i := range s.JIT {
+		n += s.JIT[i].CompiledPrograms()
+	}
+	return n
+}
+
+// TotalRuntimeFaults sums swallowed runtime faults across every kernel
+// shard. Anything above zero means a verified program faulted at runtime.
+func (s *ProcessorStats) TotalRuntimeFaults() int64 {
+	n := int64(0)
+	for i := range s.Kernel {
+		n += s.Kernel[i].RuntimeFaults
 	}
 	return n
 }

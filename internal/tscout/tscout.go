@@ -143,6 +143,12 @@ type Config struct {
 	// generated Collector program at Deploy, shrinking the marker hot
 	// path; per-program savings appear in ProcessorStats.
 	OptimizeCollectors bool
+	// CompileCollectors JIT-compiles every generated Collector program at
+	// Deploy (after the optional optimizer pass), replacing interpretation
+	// on the marker hot path with verifier-proof-guided native closures.
+	// Declined programs silently keep the interpreter; per-program
+	// outcomes and dispatch counts appear in ProcessorStats.
+	CompileCollectors bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -313,6 +319,7 @@ func (ts *TScout) Deploy() error {
 				NumCPUs:        ts.kernel.NumCPUs(),
 				PerCPUCapacity: ts.cfg.RingCapacity,
 				Optimize:       ts.cfg.OptimizeCollectors,
+				Compile:        ts.cfg.CompileCollectors,
 			})
 			if err != nil {
 				return fmt.Errorf("tscout: codegen for %s: %w", sub.id, err)

@@ -13,6 +13,12 @@ go test -race -timeout 45m ./...
 # must assemble and run at every thread/topology combination.
 go test -bench '^BenchmarkDrainPerCPUvsSingle$' -benchtime 1x -run xxx .
 
+# JIT smoke: every generated Collector program must compile (zero
+# declines) and agree with the interpreter on differential spot-checks;
+# the single-shot benchmark keeps the speed harness assembling.
+go test ./internal/tscout -run '^TestJITSmoke' -count=1
+go test -bench '^BenchmarkCollectorInterpVsCompiled$' -benchtime 1x -run xxx .
+
 # Seed-corpus chaos runs: the pipeline under deterministic fault schedules
 # must satisfy the exact accounting identities at every drain parallelism.
 go test ./internal/tscout -run '^TestChaos' -count=1
