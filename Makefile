@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke jit-smoke chaos-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint test race bench bench-smoke jit-smoke chaos-smoke scale-smoke figures fuzz-smoke cover
 
-check: build lint race bench-smoke jit-smoke chaos-smoke
+check: build lint race bench-smoke jit-smoke chaos-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test ./internal/bpf -run '^$$' -fuzz '^FuzzPerCPURing$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzFaultSchedule$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzPerCPUFaultOrder$$' -fuzztime $(FUZZTIME)
 
 # Coverage with a per-package summary (baseline recorded in README.md).
 cover:
@@ -52,11 +53,13 @@ cover:
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
-# Single-shot run of the per-CPU drain benchmark: a cheap CI guard that the
-# batched drain path assembles and runs at 1/2/4 drain threads against both
-# ring topologies (real throughput numbers need default -benchtime).
+# Single-shot run of the per-CPU drain benchmark plus the end-to-end
+# multi-core scaling benchmark: cheap CI guards that the batched drain path
+# assembles at 1/2/4 drain threads and that the pooled epoch driver runs at
+# 1/8/32/64 CPUs (real throughput numbers need default -benchtime).
 bench-smoke:
 	$(GO) test -bench '^BenchmarkDrainPerCPUvsSingle$$' -benchtime 1x -run xxx .
+	$(GO) test -bench '^BenchmarkEndToEndNumCPUs$$' -benchtime 1x -run xxx .
 
 # JIT smoke: compile every subsystem×resource-mask×marker Collector
 # program (192), assert the compiler declines none of them, and
@@ -73,6 +76,12 @@ jit-smoke:
 # identities. The fault-free baseline proves the harness injects no loss.
 chaos-smoke:
 	$(GO) test ./internal/tscout -run '^TestChaos' -count=1
+
+# Scale smoke: a thousand terminals multiplexed onto 96 pooled sessions on
+# an 8-CPU kernel behind the admission gate, plus the (NumCPUs x drain
+# parallelism) determinism grid for the epoch/barrier engine.
+scale-smoke:
+	$(GO) test ./internal/workload -run '^(TestScaleSmoke|TestEpochEngineDeterminism|TestPooledBoundedQueueRejects)$$' -count=1
 
 # Regenerate every figure at quick scale.
 figures:

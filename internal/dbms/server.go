@@ -47,6 +47,11 @@ type Config struct {
 	// ProcessorParallelism sets the number of modeled Processor drain
 	// threads (0 = the paper's single-threaded Processor).
 	ProcessorParallelism int
+	// NumCPUs sets the simulated CPU count before TScout deploys, so the
+	// per-CPU rings, task placement, and noise streams all size themselves
+	// to it (0 or 1 = the single-CPU topology every recorded experiment
+	// used).
+	NumCPUs int
 	// WAL tunes group commit.
 	WAL wal.Config
 	// FuseSimpleSelects enables the §5.2 fused pipeline path.
@@ -75,6 +80,9 @@ func NewServer(cfg Config) (*Server, error) {
 		profile = sim.LargeHW
 	}
 	k := kernel.New(profile, cfg.Seed, cfg.NoiseSigma)
+	if cfg.NumCPUs > 1 {
+		k.SetNumCPUs(cfg.NumCPUs)
+	}
 	srv := &Server{
 		Kernel:  k,
 		Catalog: catalog.New(),
@@ -154,6 +162,16 @@ func (s *Server) NewSession() *Session {
 	return &Session{
 		srv:  s,
 		Task: s.Kernel.NewTask(fmt.Sprintf("worker-%d", s.nextSession)),
+	}
+}
+
+// NewSessionOn opens a connection whose worker task is pinned to the given
+// simulated CPU (the SessionPool's placement path).
+func (s *Server) NewSessionOn(cpu int) *Session {
+	s.nextSession++
+	return &Session{
+		srv:  s,
+		Task: s.Kernel.NewTaskOn(fmt.Sprintf("worker-%d", s.nextSession), cpu),
 	}
 }
 
@@ -265,7 +283,7 @@ func (se *Session) SubmitPacket(packet []byte) *PacketResult {
 			})
 		}
 		records = append(records, wal.Record{Kind: wal.RecordCommit, TxnID: tx.ID, Bytes: 16})
-		pr.Commit = srv.WAL.Submit(records, task.Now())
+		pr.Commit = srv.WAL.SubmitFrom(records, task.Now(), task.CPU())
 	}
 
 	pr.Response = se.respond(respMsgs...)
@@ -357,7 +375,7 @@ func (se *Session) Execute(query string, params ...storage.Value) (*exec.Result,
 			})
 		}
 		records = append(records, wal.Record{Kind: wal.RecordCommit, TxnID: tx.ID, Bytes: 16})
-		c := se.srv.WAL.Submit(records, se.Task.Now())
+		c := se.srv.WAL.SubmitFrom(records, se.Task.Now(), se.Task.CPU())
 		if c.Resolved {
 			se.Task.Clock.AdvanceTo(c.DoneNS)
 		}

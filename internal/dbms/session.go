@@ -139,7 +139,7 @@ func (se *Session) Commit() (*wal.Commit, error) {
 		})
 	}
 	records = append(records, wal.Record{Kind: wal.RecordCommit, TxnID: tx.ID, Bytes: 16})
-	return se.srv.WAL.Submit(records, se.Task.Now()), nil
+	return se.srv.WAL.SubmitFrom(records, se.Task.Now(), se.Task.CPU()), nil
 }
 
 // Rollback aborts the open transaction.

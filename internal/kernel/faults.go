@@ -74,11 +74,21 @@ const counterWrapDelta = float64(uint64(1) << 44)
 // hit counter reaches AtHit (0-based, counted over attached-tracepoint hits
 // only). CPU parameterizes FaultMigrate (the destination, clamped into the
 // kernel's range); Count parameterizes FaultRingBurst.
+//
+// OnCPU selects which hit counter AtHit indexes. Zero (the legacy default)
+// means the injector-global counter: exact under a single-goroutine
+// workload, but under genuinely concurrent multi-CPU delivery the global
+// hit order depends on goroutine interleaving, so a global-indexed fault
+// can land on a different delivery each run. OnCPU = c+1 indexes simulated
+// CPU c's own delivery counter instead: each CPU's hit sequence is fixed by
+// the schedule regardless of how the host interleaves the CPUs, so
+// per-CPU-indexed plans are deterministic under real parallelism.
 type Fault struct {
 	Kind  FaultKind
 	AtHit int64
 	CPU   int
 	Count int
+	OnCPU int
 }
 
 // FaultPlan is a schedule of faults, ordered by AtHit. Plans are
@@ -117,6 +127,38 @@ func GenFaultPlan(seed int64, n int, maxHit int64, numCPUs int) FaultPlan {
 	return plan
 }
 
+// GenFaultPlanPerCPU derives a reproducible per-CPU-indexed fault plan:
+// n faults spread over the first maxHitPerCPU deliveries *of each CPU's own
+// hit sequence* (every fault gets OnCPU != 0). Unlike GenFaultPlan's
+// global indexing, the resulting schedule is deterministic even when the
+// workload delivers markers from concurrently-running CPUs.
+func GenFaultPlanPerCPU(seed int64, n int, maxHitPerCPU int64, numCPUs int) FaultPlan {
+	if n <= 0 || maxHitPerCPU <= 0 {
+		return nil
+	}
+	if numCPUs < 1 {
+		numCPUs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := make(FaultPlan, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Kind:  FaultKind(rng.Intn(int(numFaultKinds))),
+			AtHit: rng.Int63n(maxHitPerCPU),
+			OnCPU: 1 + rng.Intn(numCPUs),
+		}
+		switch f.Kind {
+		case FaultMigrate:
+			f.CPU = rng.Intn(numCPUs)
+		case FaultRingBurst:
+			f.Count = 1 + rng.Intn(8)
+		}
+		plan = append(plan, f)
+	}
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].AtHit < plan[j].AtHit })
+	return plan
+}
+
 // FaultInjector applies a FaultPlan to a kernel's marker delivery path.
 // Delivery-level faults (drop, dup, migrate, counter-wrap) are applied
 // inline by HitTracepoint; lifecycle faults (kill, ring burst) are queued
@@ -130,22 +172,57 @@ type FaultInjector struct {
 	mu           sync.Mutex
 	next         int
 	hits         int64
+	cpuPlans     map[int]*cpuFaultQueue
 	pendingKill  bool
 	pendingBurst int
 	applied      [numFaultKinds]int64
 }
 
-// NewFaultInjector creates an injector for a plan. Install it with
-// Kernel.SetFaultInjector.
-func NewFaultInjector(plan FaultPlan) *FaultInjector {
-	sorted := append(FaultPlan(nil), plan...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AtHit < sorted[j].AtHit })
-	return &FaultInjector{plan: sorted}
+// cpuFaultQueue is one simulated CPU's slice of a per-CPU-indexed plan:
+// its own delivery counter and the faults indexed against it. The counter
+// advances only when that CPU delivers a marker, so its value at any
+// delivery is a function of the schedule alone — never of which goroutine
+// got there first.
+type cpuFaultQueue struct {
+	hits int64
+	plan []Fault
+	next int
 }
 
-// beforeHit consumes every fault scheduled at the current hit index and
-// returns how many times the marker should be delivered (0 = dropped).
-// Inline faults are applied to the hitting task directly.
+// NewFaultInjector creates an injector for a plan. Install it with
+// Kernel.SetFaultInjector. Faults with OnCPU == 0 index the injector-global
+// hit counter (the legacy behavior); faults with OnCPU = c+1 index CPU c's
+// own delivery counter and are applied only to deliveries on that CPU.
+func NewFaultInjector(plan FaultPlan) *FaultInjector {
+	fi := &FaultInjector{cpuPlans: make(map[int]*cpuFaultQueue)}
+	var global FaultPlan
+	for _, f := range plan {
+		if f.OnCPU > 0 {
+			cpu := f.OnCPU - 1
+			q := fi.cpuPlans[cpu]
+			if q == nil {
+				q = &cpuFaultQueue{}
+				fi.cpuPlans[cpu] = q
+			}
+			q.plan = append(q.plan, f)
+			continue
+		}
+		global = append(global, f)
+	}
+	sort.SliceStable(global, func(i, j int) bool { return global[i].AtHit < global[j].AtHit })
+	fi.plan = global
+	for _, q := range fi.cpuPlans {
+		p := q.plan
+		sort.SliceStable(p, func(i, j int) bool { return p[i].AtHit < p[j].AtHit })
+	}
+	return fi
+}
+
+// beforeHit consumes every fault scheduled at the current hit index —
+// global faults against the injector-global counter, per-CPU faults
+// against the delivering CPU's own counter — and returns how many times
+// the marker should be delivered (0 = dropped). Inline faults are applied
+// to the hitting task directly.
 func (fi *FaultInjector) beforeHit(t *Task) int {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
@@ -161,23 +238,57 @@ func (fi *FaultInjector) beforeHit(t *Task) int {
 			// with a monotonic counter, but keeps the loop total.)
 			continue
 		}
-		fi.applied[f.Kind]++
-		switch f.Kind {
-		case FaultDropMarker:
-			times = 0
-		case FaultDupMarker:
-			times = 2
-		case FaultMigrate:
-			t.Migrate(f.CPU)
-		case FaultKillTask:
-			fi.pendingKill = true
-		case FaultCounterWrap:
-			t.Perf().InjectWrap(counterWrapDelta)
-		case FaultRingBurst:
-			fi.pendingBurst += f.Count
+		times = fi.applyLocked(f, t, times)
+	}
+	if q := fi.cpuPlans[t.CPU()]; q != nil {
+		cpuHit := q.hits
+		q.hits++
+		for q.next < len(q.plan) && q.plan[q.next].AtHit <= cpuHit {
+			f := q.plan[q.next]
+			q.next++
+			if f.AtHit < cpuHit {
+				continue
+			}
+			times = fi.applyLocked(f, t, times)
 		}
+	} else {
+		// Track the counter even with no faults queued for this CPU, so
+		// CPUHits reports the full per-CPU delivery census.
+		fi.cpuPlans[t.CPU()] = &cpuFaultQueue{hits: 1}
 	}
 	return times
+}
+
+// applyLocked fires one fault against the hitting task; the caller holds
+// fi.mu. It returns the updated delivery multiplicity.
+func (fi *FaultInjector) applyLocked(f Fault, t *Task, times int) int {
+	fi.applied[f.Kind]++
+	switch f.Kind {
+	case FaultDropMarker:
+		times = 0
+	case FaultDupMarker:
+		times = 2
+	case FaultMigrate:
+		t.Migrate(f.CPU)
+	case FaultKillTask:
+		fi.pendingKill = true
+	case FaultCounterWrap:
+		t.Perf().InjectWrap(counterWrapDelta)
+	case FaultRingBurst:
+		fi.pendingBurst += f.Count
+	}
+	return times
+}
+
+// CPUHits returns how many marker deliveries the injector has observed on
+// the given simulated CPU.
+func (fi *FaultInjector) CPUHits(cpu int) int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if q := fi.cpuPlans[cpu]; q != nil {
+		return q.hits
+	}
+	return 0
 }
 
 // Hits returns how many marker deliveries the injector has observed.

@@ -188,3 +188,131 @@ func TestCPUCounterBaseCancelsInSameCPUDeltas(t *testing.T) {
 		t.Fatalf("cross-CPU read differs by only %g, want >= 2^40", cross)
 	}
 }
+
+func TestGenFaultPlanPerCPUDeterministic(t *testing.T) {
+	a := GenFaultPlanPerCPU(42, 16, 50, 4)
+	b := GenFaultPlanPerCPU(42, 16, 50, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different per-CPU plans:\n%v\n%v", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("plan length = %d, want 16", len(a))
+	}
+	for _, f := range a {
+		if f.OnCPU < 1 || f.OnCPU > 4 {
+			t.Fatalf("per-CPU fault has OnCPU=%d outside 1..4: %+v", f.OnCPU, f)
+		}
+	}
+	if GenFaultPlanPerCPU(42, 0, 50, 4) != nil {
+		t.Fatalf("n=0 should yield a nil plan")
+	}
+	if reflect.DeepEqual(a, GenFaultPlanPerCPU(43, 16, 50, 4)) {
+		t.Fatalf("different seeds produced identical per-CPU plans")
+	}
+}
+
+// deliverInterleaved runs per-CPU marker deliveries under an arbitrary
+// global interleaving: order[i] names which CPU delivers next. It returns
+// the per-CPU handler run counts. Each CPU's deliveries happen in its own
+// fixed sequence; only the cross-CPU merge order varies.
+func deliverInterleaved(t *testing.T, plan FaultPlan, numCPUs int, order []int) ([]int64, *FaultInjector) {
+	t.Helper()
+	k := testKernel()
+	k.SetNumCPUs(numCPUs)
+	tasks := make([]*Task, numCPUs)
+	for c := range tasks {
+		tasks[c] = k.NewTaskOn("w", c)
+	}
+	tp := k.Tracepoint("tp")
+	runs := make([]int64, numCPUs)
+	tp.Attach(func(tk *Task, args []uint64) int64 {
+		runs[tk.CPU()]++
+		return 0
+	})
+	fi := NewFaultInjector(plan)
+	k.SetFaultInjector(fi)
+	for _, c := range order {
+		tasks[c].HitTracepoint(tp, nil)
+	}
+	return runs, fi
+}
+
+func TestPerCPUFaultIndexingIsInterleavingIndependent(t *testing.T) {
+	const numCPUs = 4
+	const perCPU = 6
+	// Per-CPU-indexed faults: CPU 0 drops its 3rd delivery, CPU 1 duplicates
+	// its 1st, CPU 2 drops its 5th, CPU 3 is untouched.
+	plan := FaultPlan{
+		{Kind: FaultDropMarker, AtHit: 2, OnCPU: 1},
+		{Kind: FaultDupMarker, AtHit: 0, OnCPU: 2},
+		{Kind: FaultDropMarker, AtHit: 4, OnCPU: 3},
+	}
+	// Three very different global merge orders of the same per-CPU
+	// sequences: round-robin, CPU-major, and reversed round-robin.
+	var rr, major, rev []int
+	for i := 0; i < perCPU; i++ {
+		for c := 0; c < numCPUs; c++ {
+			rr = append(rr, c)
+			rev = append(rev, numCPUs-1-c)
+		}
+	}
+	for c := 0; c < numCPUs; c++ {
+		for i := 0; i < perCPU; i++ {
+			major = append(major, c)
+		}
+	}
+	want := []int64{perCPU - 1, perCPU + 1, perCPU - 1, perCPU}
+	for name, order := range map[string][]int{"round-robin": rr, "cpu-major": major, "reversed": rev} {
+		runs, fi := deliverInterleaved(t, plan, numCPUs, order)
+		if !reflect.DeepEqual(runs, want) {
+			t.Fatalf("%s: per-CPU handler runs = %v, want %v", name, runs, want)
+		}
+		for c := 0; c < numCPUs; c++ {
+			if got := fi.CPUHits(c); got != perCPU {
+				t.Fatalf("%s: CPUHits(%d) = %d, want %d", name, c, got, perCPU)
+			}
+		}
+		if fi.Hits() != int64(len(order)) {
+			t.Fatalf("%s: global hits = %d, want %d", name, fi.Hits(), len(order))
+		}
+	}
+}
+
+func TestGlobalFaultIndexingDependsOnInterleaving(t *testing.T) {
+	// The contrast case motivating OnCPU: a global-indexed drop at hit 2
+	// lands on whichever CPU happens to deliver third, so different merge
+	// orders starve different CPUs. This documents why multi-CPU chaos plans
+	// must use per-CPU indexing.
+	plan := FaultPlan{{Kind: FaultDropMarker, AtHit: 2}}
+	order1 := []int{0, 1, 0, 1, 0, 1}
+	order2 := []int{1, 0, 1, 0, 1, 0}
+	runs1, _ := deliverInterleaved(t, plan, 2, order1)
+	runs2, _ := deliverInterleaved(t, plan, 2, order2)
+	if reflect.DeepEqual(runs1, runs2) {
+		t.Fatalf("expected global-indexed fault to land on different CPUs under different interleavings; got %v both times", runs1)
+	}
+}
+
+func TestInterleaverCPULanes(t *testing.T) {
+	// Two workloads pinned to different lanes never context-switch each
+	// other, no matter how the seeded schedule interleaves them.
+	k := testKernel()
+	iv := k.NewInterleaver(7)
+	iv.AddOn("a", 0, 50, func(i int) {})
+	iv.AddOn("b", 1, 50, func(i int) {})
+	iv.Run()
+	if got := k.CtxSwitches.Load(); got != 0 {
+		t.Fatalf("cross-lane workloads charged %d context switches, want 0", got)
+	}
+	// The same two workloads on one lane do switch (the legacy accounting):
+	// with 100 quanta from two runners a seed-7 schedule must alternate at
+	// least once.
+	k2 := testKernel()
+	iv2 := k2.NewInterleaver(7)
+	iv2.Add("a", 50, func(i int) {})
+	iv2.Add("b", 50, func(i int) {})
+	trace := iv2.Run()
+	if got := k2.CtxSwitches.Load(); got == 0 {
+		t.Fatalf("same-lane workloads charged no context switches; trace=%v", trace)
+	}
+}

@@ -24,7 +24,22 @@ import (
 // runs tasks one at a time.
 type Kernel struct {
 	Profile sim.HardwareProfile
-	Noise   *sim.Noise
+	// Noise is simulated CPU 0's measurement-noise stream. It is the only
+	// stream on the default single-CPU topology, and it is seeded directly
+	// from the kernel seed so single-CPU schedules are bit-identical to the
+	// pre-multi-core engine. Charges on other CPUs draw from derived
+	// per-CPU streams (see noiseFor): disjoint streams are what let tasks
+	// on different CPUs charge concurrently without racing on one
+	// math/rand state or perturbing each other's deterministic sequences.
+	Noise *sim.Noise
+
+	seed  int64
+	sigma float64
+	// noiseStreams holds one *sim.Noise per simulated CPU (index 0 is the
+	// public Noise). It is stored atomically so charge paths read it
+	// lock-free; SetNumCPUs rebuilds it, which is why SetNumCPUs must run
+	// before any task activity.
+	noiseStreams atomic.Value // []*sim.Noise
 
 	mu          sync.Mutex
 	nextPID     int
@@ -53,15 +68,56 @@ type Kernel struct {
 // routing change with the CPU count, so defaulting it to the profile's
 // cores would silently reshuffle the sample streams of existing setups.
 func New(profile sim.HardwareProfile, seed int64, sigma float64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		Profile:     profile,
 		Noise:       sim.NewNoise(seed, sigma),
+		seed:        seed,
+		sigma:       sigma,
 		nextPID:     1,
 		nextGen:     1,
 		liveGens:    make(map[uint64]bool),
 		numCPUs:     1,
 		tracepoints: make(map[string]*Tracepoint),
 	}
+	k.noiseStreams.Store([]*sim.Noise{k.Noise})
+	return k
+}
+
+// deriveStreamSeed mixes a per-CPU stream index into the kernel seed
+// (splitmix64 finalizer) so each simulated CPU gets an independent,
+// reproducible noise stream. Stream 0 never goes through this — it keeps
+// the raw seed for pre-multi-core bit compatibility.
+func deriveStreamSeed(seed int64, cpu int) int64 {
+	z := uint64(seed) + uint64(cpu)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// noiseFor returns the measurement-noise stream of the given simulated
+// CPU (out-of-range CPUs fall back to stream 0). Streams are per-CPU, not
+// per-task: tasks on one CPU share a stream — they are time-multiplexed on
+// that CPU, so their charges are serialized anyway — while tasks on
+// different CPUs draw from disjoint streams and may charge concurrently.
+func (k *Kernel) noiseFor(cpu int) *sim.Noise {
+	streams := k.noiseStreams.Load().([]*sim.Noise)
+	if cpu >= 0 && cpu < len(streams) {
+		return streams[cpu]
+	}
+	return streams[0]
+}
+
+// NoiseDraws returns the per-CPU noise-stream draw counters. Two runs of
+// the same seeded schedule must report identical vectors; the multi-core
+// determinism suite uses this as a cheap fingerprint that no charge was
+// reordered across streams.
+func (k *Kernel) NoiseDraws() []uint64 {
+	streams := k.noiseStreams.Load().([]*sim.Noise)
+	out := make([]uint64, len(streams))
+	for i, n := range streams {
+		out[i] = n.Draws()
+	}
+	return out
 }
 
 // NumCPUs returns the number of simulated CPUs (1 by default). Per-CPU
@@ -76,11 +132,19 @@ func (k *Kernel) NumCPUs() int {
 // SetNumCPUs overrides the simulated CPU count (n < 1 is clamped to 1).
 // Call it before creating tasks or deploying per-CPU consumers: existing
 // tasks keep their assigned CPU, so shrinking the count mid-run would leave
-// tasks on CPUs no new ring covers.
+// tasks on CPUs no new ring covers — and the per-CPU noise streams for
+// CPUs 1..n-1 are (re)derived here, so calling it mid-run would rewind
+// their deterministic sequences.
 func (k *Kernel) SetNumCPUs(n int) {
 	if n < 1 {
 		n = 1
 	}
+	streams := make([]*sim.Noise, n)
+	streams[0] = k.Noise
+	for i := 1; i < n; i++ {
+		streams[i] = sim.NewNoise(deriveStreamSeed(k.seed, i), k.sigma)
+	}
+	k.noiseStreams.Store(streams)
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.numCPUs = n
@@ -117,6 +181,21 @@ func (k *Kernel) contentionMult() float64 {
 // pid-keyed Collector state dangerous — while the generation tag is never
 // reused, so gen-keyed state stays unambiguous across reuse.
 func (k *Kernel) NewTask(name string) *Task {
+	return k.newTask(name, -1)
+}
+
+// NewTaskOn registers a new task pinned to the given simulated CPU
+// (clamped into range) instead of the default round-robin placement.
+// Connection pools and drain-thread groups use it to spread their workers
+// across CPUs deterministically regardless of pid-recycling history.
+func (k *Kernel) NewTaskOn(name string, cpu int) *Task {
+	if cpu < 0 {
+		cpu = 0
+	}
+	return k.newTask(name, cpu)
+}
+
+func (k *Kernel) newTask(name string, cpu int) *Task {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	var pid int
@@ -130,12 +209,17 @@ func (k *Kernel) NewTask(name string) *Task {
 	gen := k.nextGen
 	k.nextGen++
 	k.liveGens[gen] = true
-	t := &Task{
-		PID: pid,
-		gen: gen,
+	if cpu < 0 {
 		// Deterministic round-robin placement stands in for the
 		// scheduler's initial CPU assignment; Migrate moves a task.
-		cpu:    (pid - 1) % k.numCPUs,
+		cpu = (pid - 1) % k.numCPUs
+	} else {
+		cpu = cpu % k.numCPUs
+	}
+	t := &Task{
+		PID:    pid,
+		gen:    gen,
+		cpu:    cpu,
 		Name:   name,
 		kernel: k,
 	}

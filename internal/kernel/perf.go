@@ -172,6 +172,9 @@ func (pc *PerfContext) accumulate(d counterDeltas) {
 	}
 	duty := pc.dutyCycle()
 	n := pc.kernel.Noise
+	if pc.task != nil {
+		n = pc.kernel.noiseFor(pc.task.cpu)
+	}
 	vals := [numCounters]float64{
 		CounterCycles:       d.cycles,
 		CounterInstructions: d.instructions,

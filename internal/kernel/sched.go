@@ -17,6 +17,7 @@ type Interleaver struct {
 
 type ivRunner struct {
 	name string
+	cpu  int
 	left int
 	next int
 	step func(i int)
@@ -29,11 +30,24 @@ func (k *Kernel) NewInterleaver(seed int64) *Interleaver {
 	return &Interleaver{kernel: k, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Add registers a workload of n quanta. step is called with the quantum
-// index 0..n-1, in order, but interleaved with the quanta of every other
-// registered workload.
+// Add registers a workload of n quanta on CPU lane 0. step is called with
+// the quantum index 0..n-1, in order, but interleaved with the quanta of
+// every other registered workload.
 func (iv *Interleaver) Add(name string, n int, step func(i int)) {
-	iv.runners = append(iv.runners, &ivRunner{name: name, left: n, step: step})
+	iv.AddOn(name, 0, n, step)
+}
+
+// AddOn registers a workload of n quanta on the given CPU lane. The lane
+// scopes context-switch accounting: a switch is charged when a lane's
+// newly-picked workload differs from the previous workload *on that lane*,
+// matching a per-CPU run queue — two workloads ping-ponging on different
+// CPUs do not context-switch each other. With every workload on lane 0
+// (the Add default) this degenerates to the original global accounting.
+func (iv *Interleaver) AddOn(name string, cpu int, n int, step func(i int)) {
+	if cpu < 0 {
+		cpu = 0
+	}
+	iv.runners = append(iv.runners, &ivRunner{name: name, cpu: cpu, left: n, step: step})
 }
 
 // Run executes every registered quantum under the seeded schedule and
@@ -43,15 +57,15 @@ func (iv *Interleaver) Run() []string {
 	var trace []string
 	live := append([]*ivRunner(nil), iv.runners...)
 	iv.runners = nil
-	prev := -1
+	prevOnLane := make(map[int]string)
 	for len(live) > 0 {
 		i := iv.rng.Intn(len(live))
 		r := live[i]
-		if prev >= 0 && trace[prev] != r.name {
+		if prev, ok := prevOnLane[r.cpu]; ok && prev != r.name {
 			iv.kernel.CtxSwitches.Add(1)
 		}
+		prevOnLane[r.cpu] = r.name
 		trace = append(trace, r.name)
-		prev = len(trace) - 1
 		r.step(r.next)
 		r.next++
 		r.left--

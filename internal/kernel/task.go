@@ -82,7 +82,7 @@ func (t *Task) Now() int64 { return t.Clock.Now() }
 // the work descriptor is charged too (a real thread blocks in the syscall).
 func (t *Task) Charge(w sim.Work) int64 {
 	p := &t.kernel.Profile
-	n := t.kernel.Noise
+	n := t.kernel.noiseFor(t.cpu)
 
 	refs := w.BytesTouched / float64(p.CacheLineBytes)
 	missRate := missRate(w, p)
@@ -159,7 +159,7 @@ func missRate(w sim.Work, p *sim.HardwareProfile) float64 {
 // overhead when instrumentation is true.
 func (t *Task) Syscall(extraNS int64, instrumentation bool) int64 {
 	p := &t.kernel.Profile
-	ns := t.kernel.Noise.ApplyNS(p.ModeSwitchNS + p.SyscallNS + extraNS)
+	ns := t.kernel.noiseFor(t.cpu).ApplyNS(p.ModeSwitchNS + p.SyscallNS + extraNS)
 	t.Clock.Advance(ns)
 	t.kernel.ModeSwitches.Add(1)
 	if instrumentation {
@@ -178,7 +178,7 @@ func (t *Task) ContextSwitch() int64 {
 	if t.perf.perTask && t.perf.anyEnabled() {
 		ns += p.PMUSaveNS
 	}
-	ns = t.kernel.Noise.ApplyNS(ns)
+	ns = t.kernel.noiseFor(t.cpu).ApplyNS(ns)
 	t.Clock.Advance(ns)
 	t.kernel.CtxSwitches.Add(1)
 	return ns
@@ -206,7 +206,10 @@ func (t *Task) HitTracepoint(tp *Tracepoint, args []uint64) {
 	p := &t.kernel.Profile
 	for i := 0; i < times; i++ {
 		tp.Hits.Add(1)
-		enter := t.kernel.Noise.ApplyNS(p.ModeSwitchNS)
+		// Fetched inside the loop: a migrate fault in beforeHit may have
+		// moved the task, and delivery noise is charged on the CPU the hit
+		// actually runs on.
+		enter := t.kernel.noiseFor(t.cpu).ApplyNS(p.ModeSwitchNS)
 		t.Clock.Advance(enter)
 		t.kernel.ModeSwitches.Add(1)
 		cost := h(t, args)
@@ -223,7 +226,7 @@ func (t *Task) ChargeUserNS(ns int64) {
 	if ns <= 0 {
 		return
 	}
-	ns = t.kernel.Noise.ApplyNS(ns)
+	ns = t.kernel.noiseFor(t.cpu).ApplyNS(ns)
 	t.Clock.Advance(ns)
 	t.UserInstrumentationNS += ns
 }

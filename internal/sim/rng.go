@@ -14,6 +14,11 @@ import (
 type Noise struct {
 	rng   *rand.Rand
 	sigma float64
+	// draws counts consuming calls on the underlying stream. Two runs that
+	// made the same draw sequence report the same count, so per-stream draw
+	// counters are a cheap fingerprint of schedule determinism (the
+	// multi-core regression suite compares them across repeated runs).
+	draws uint64
 }
 
 // NewNoise returns a Noise source with the given seed and relative standard
@@ -27,6 +32,7 @@ func (n *Noise) Mult() float64 {
 	if n == nil || n.sigma == 0 {
 		return 1.0
 	}
+	n.draws++
 	f := 1.0 + n.rng.NormFloat64()*n.sigma
 	lo, hi := 1.0-3*n.sigma, 1.0+3*n.sigma
 	if lo < 0.05 {
@@ -50,10 +56,29 @@ func (n *Noise) ApplyNS(ns int64) int64 {
 // Float64 exposes a uniform [0,1) draw from the underlying stream, so
 // components that need auxiliary randomness (e.g. sampling-bit shuffles)
 // share one seeded source.
-func (n *Noise) Float64() float64 { return n.rng.Float64() }
+func (n *Noise) Float64() float64 {
+	n.draws++
+	return n.rng.Float64()
+}
 
 // Intn exposes a uniform [0,n) integer draw.
-func (n *Noise) Intn(m int) int { return n.rng.Intn(m) }
+func (n *Noise) Intn(m int) int {
+	n.draws++
+	return n.rng.Intn(m)
+}
 
 // Perm returns a random permutation of [0,m).
-func (n *Noise) Perm(m int) []int { return n.rng.Perm(m) }
+func (n *Noise) Perm(m int) []int {
+	n.draws++
+	return n.rng.Perm(m)
+}
+
+// Draws returns how many consuming calls the stream has served. Identical
+// schedules consume identically, so equal draw counts across repeated runs
+// (per stream) witness a deterministic schedule.
+func (n *Noise) Draws() uint64 {
+	if n == nil {
+		return 0
+	}
+	return n.draws
+}

@@ -37,6 +37,10 @@ type chaosConfig struct {
 	ringCap  int  // small, so overflow bursts actually overflow
 	drainEvr int  // budgeted drain every N cycles
 	compile  bool // run the Collectors through the JIT
+	workers  int  // workload tasks (default 3)
+	// plan overrides the generated fault schedule; nil keeps the seeded
+	// GenFaultPlan schedule.
+	plan kernel.FaultPlan
 }
 
 // runChaos drives one seeded chaos run to quiescence and returns the
@@ -45,7 +49,10 @@ func runChaos(tb testing.TB, cfg chaosConfig) (*TScout, *kernel.FaultInjector) {
 	tb.Helper()
 	k := kernel.New(sim.LargeHW, cfg.seed, 0)
 	k.SetNumCPUs(cfg.numCPUs)
-	plan := kernel.GenFaultPlan(cfg.seed, cfg.faults, int64(3*cfg.ous), cfg.numCPUs)
+	plan := cfg.plan
+	if plan == nil {
+		plan = kernel.GenFaultPlan(cfg.seed, cfg.faults, int64(3*cfg.ous), cfg.numCPUs)
+	}
 	fi := kernel.NewFaultInjector(plan)
 	k.SetFaultInjector(fi)
 
@@ -71,7 +78,20 @@ func runChaos(tb testing.TB, cfg chaosConfig) (*TScout, *kernel.FaultInjector) {
 	p := ts.Processor()
 
 	rng := rand.New(rand.NewSource(cfg.seed * 31))
-	tasks := []*kernel.Task{k.NewTask("w0"), k.NewTask("w1"), k.NewTask("w2")}
+	// An explicit worker count pins the tasks round-robin across the CPUs
+	// (deterministic coverage of every per-CPU hit counter); the default 3
+	// workers keep the original corpus schedules byte-for-byte.
+	tasks := make([]*kernel.Task, 3)
+	if cfg.workers > 0 {
+		tasks = make([]*kernel.Task, cfg.workers)
+	}
+	for i := range tasks {
+		if cfg.workers > 0 {
+			tasks[i] = k.NewTaskOn(fmt.Sprintf("w%d", i), i%cfg.numCPUs)
+		} else {
+			tasks[i] = k.NewTask(fmt.Sprintf("w%d", i))
+		}
+	}
 	markers := []*Marker{scan, wal}
 
 	for i := 0; i < cfg.ous; i++ {
@@ -269,6 +289,59 @@ func TestChaosCleanScheduleBaseline(t *testing.T) {
 	}
 }
 
+// TestChaosEveryFaultClassAt8CPUs isolates one fault class at a time on an
+// 8-CPU kernel with eight pinned workers, delivering every fault through
+// the per-CPU hit counters (OnCPU != 0) so the schedule is a function of
+// each CPU's own marker stream. The exact loss identities must hold for
+// every class, and the class must demonstrably have fired.
+func TestChaosEveryFaultClassAt8CPUs(t *testing.T) {
+	const numCPUs = 8
+	classes := []kernel.FaultKind{
+		kernel.FaultDropMarker, kernel.FaultDupMarker, kernel.FaultMigrate,
+		kernel.FaultKillTask, kernel.FaultCounterWrap, kernel.FaultRingBurst,
+	}
+	for _, class := range classes {
+		t.Run(class.String(), func(t *testing.T) {
+			var plan kernel.FaultPlan
+			for cpu := 0; cpu < numCPUs; cpu++ {
+				for _, hit := range []int64{2, 9, 23} {
+					f := kernel.Fault{Kind: class, AtHit: hit, OnCPU: cpu + 1}
+					if class == kernel.FaultMigrate {
+						f.CPU = (cpu + 3) % numCPUs
+					}
+					if class == kernel.FaultRingBurst {
+						f.Count = 2
+					}
+					plan = append(plan, f)
+				}
+			}
+			ts, fi := runChaos(t, chaosConfig{
+				seed: 99, par: 4, ous: 600, numCPUs: numCPUs,
+				ringCap: 16, drainEvr: 25, workers: numCPUs, plan: plan,
+			})
+			orphans := assertChaosIdentities(t, ts)
+			if fi.Applied(class) == 0 {
+				t.Fatalf("%v: planned on every CPU but never applied", class)
+			}
+			if class == kernel.FaultKillTask && orphans.StaleReaped == 0 {
+				t.Fatalf("kills applied but no StaleReaped orphans")
+			}
+			// Stationary fault classes leave the workers pinned, so every
+			// CPU's hit counter must have advanced past the first planned
+			// delivery. (Migrations and kill/respawn move tasks off their
+			// home CPUs, so coverage there is not guaranteed per CPU.)
+			if class != kernel.FaultMigrate && class != kernel.FaultKillTask {
+				for cpu := 0; cpu < numCPUs; cpu++ {
+					if fi.CPUHits(cpu) <= 2 {
+						t.Fatalf("%v: cpu %d saw only %d hits — per-CPU delivery untested",
+							class, cpu, fi.CPUHits(cpu))
+					}
+				}
+			}
+		})
+	}
+}
+
 // FuzzFaultSchedule feeds arbitrary (seed, fault-count, parallelism)
 // triples through the chaos driver: whatever schedule GenFaultPlan
 // produces, the accounting identities must hold exactly.
@@ -278,10 +351,18 @@ func FuzzFaultSchedule(f *testing.F) {
 	}
 	f.Add(int64(-9), uint8(0), uint8(2))
 	f.Add(int64(123456789), uint8(255), uint8(3))
+	// Crashers and near-misses from multi-CPU fuzzing sessions: seeds that
+	// land on 7- and 8-CPU kernels with dense schedules, a negative seed
+	// whose kill/respawn cadence recycles pids across CPU homes, and a
+	// burst-heavy schedule at full parallelism.
+	f.Add(int64(15), uint8(96), uint8(3))       // 8 CPUs, dense mixed plan
+	f.Add(int64(-1048577), uint8(64), uint8(0)) // negative seed, pid recycling
+	f.Add(int64(7777774), uint8(192), uint8(3)) // 7 CPUs, burst-heavy
+	f.Add(int64(6), uint8(255), uint8(2))       // 7 CPUs, saturated plan
 	f.Fuzz(func(t *testing.T, seed int64, faults, parSel uint8) {
 		ts, _ := runChaos(t, chaosConfig{
 			seed: seed, par: 1 + int(parSel%4), ous: 120, faults: int(faults),
-			numCPUs: 1 + int(uint64(seed)%4), ringCap: 16, drainEvr: 20,
+			numCPUs: 1 + int(uint64(seed)%8), ringCap: 16, drainEvr: 20,
 			// Half the schedules run the JIT so the fuzzer exercises both
 			// execution engines under the same fault corpus.
 			compile: seed%2 != 0,

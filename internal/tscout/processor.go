@@ -314,6 +314,16 @@ func (p *Processor) taskGroup() *kernel.TaskGroup {
 	if p.group == nil {
 		p.group = p.ts.kernel.NewTaskGroup("tscout-processor", p.Parallelism())
 		p.drainBatches = make([]bpf.Batch, p.Parallelism())
+		// Spread the drain threads across the simulated CPUs explicitly:
+		// thread i runs on CPU i mod NumCPUs, a placement that is a
+		// function of the parallelism alone (pid-recycling history would
+		// otherwise pick the CPUs). On distinct CPUs the threads draw from
+		// disjoint noise streams, which is what lets them charge drain
+		// time concurrently (see Drain).
+		n := p.ts.kernel.NumCPUs()
+		for i := 0; i < p.Parallelism(); i++ {
+			p.group.Task(i).Migrate(i % n)
+		}
 	}
 	return p.group
 }
@@ -521,16 +531,26 @@ func (p *Processor) Drain(opts DrainOptions) DrainResult {
 
 	// Affinity-sharded drain: one goroutine per modeled drain thread, each
 	// draining only the rings it owns into its own reusable batch buffer.
+	// Workers buffer the points they produce per ring instead of archiving
+	// inline — ring ownership is disjoint, so the slots are race-free — and
+	// the post-join loop below archives them in global ring order. Archive
+	// sequence numbers are therefore a pure function of the drained data:
+	// the same seed yields bit-identical archives at any drain parallelism,
+	// and parallelism 1 reproduces the historical inline order exactly.
 	tallies := make([]drainTally, parallelism)
+	ptsByRing := make([][]TrainingPoint, numRings+1)
 	var wg sync.WaitGroup
 	for t := 0; t < parallelism; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			p.drainWorker(t, parallelism, numRings, &cols, alloc, &tallies[t])
+			p.drainWorker(t, parallelism, numRings, &cols, alloc, &tallies[t], ptsByRing)
 		}(t)
 	}
 	wg.Wait()
+	for g := 0; g <= numRings; g++ {
+		p.archivePoints(ptsByRing[g])
+	}
 
 	// Charge virtual time after the join: Task charging shares the kernel's
 	// (unsynchronized, deterministic) noise stream, so it must run serially
@@ -606,11 +626,13 @@ func (p *Processor) Drain(opts DrainOptions) DrainResult {
 }
 
 // drainWorker is one drain thread's share of a cycle: drain each owned CPU
-// ring into the thread's reusable batch, decode and archive the batch, and
-// (for the owner of the user pseudo-ring) drain the user-probe queue.
-// Everything it touches is either thread-owned (batch, tally, ring set) or
-// internally synchronized (archive shards, flush queue, user queue).
-func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsystems]*Collector, alloc []int, tally *drainTally) {
+// ring into the thread's reusable batch, decode the batch into the ring's
+// slot of ptsByRing, and (for the owner of the user pseudo-ring) drain the
+// user-probe queue into the pseudo-ring slot. Everything it touches is
+// either thread-owned (batch, tally, ring set, its ptsByRing slots) or
+// internally synchronized (user queue); archiving happens post-join in
+// ring order so the archive sequence is parallelism-independent.
+func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsystems]*Collector, alloc []int, tally *drainTally, ptsByRing [][]TrainingPoint) {
 	batch := &p.drainBatches[t]
 	numCPUs := numRings / int(NumSubsystems)
 	for g := t; g < numRings; g += parallelism {
@@ -647,7 +669,7 @@ func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsyste
 			}
 			pts = append(pts, out...)
 		}
-		p.archivePoints(pts)
+		ptsByRing[g] = pts
 		tally.points[sub] += int64(len(pts))
 		tally.padded[sub] += adj.padded
 		tally.truncated[sub] += adj.truncated
@@ -674,7 +696,9 @@ func (p *Processor) drainWorker(t, parallelism, numRings int, cols *[NumSubsyste
 	p.mu.Unlock()
 	if len(bufs) > 0 {
 		tally.userSamples = int64(len(bufs))
-		tally.produced += p.processUserBatch(bufs)
+		pts := p.processUserBatch(bufs)
+		ptsByRing[numRings] = pts
+		tally.produced += len(pts)
 	}
 }
 
@@ -730,10 +754,11 @@ func waterfill(demands []int, tokens int) []int {
 	return alloc
 }
 
-// processUserBatch transforms drained user-probe samples; points land in
-// the shard of the OU's subsystem, while drain/decode accounting stays on
-// the user-queue stats.
-func (p *Processor) processUserBatch(bufs [][]byte) int {
+// processUserBatch transforms drained user-probe samples and returns the
+// points for the post-join archive pass; points count toward the shard of
+// the OU's subsystem, while drain/decode accounting stays on the
+// user-queue stats.
+func (p *Processor) processUserBatch(bufs [][]byte) []TrainingPoint {
 	var decodeErrs, corruptDiscards int64
 	var adj featureAdjust
 	var pts []TrainingPoint
@@ -749,7 +774,6 @@ func (p *Processor) processUserBatch(bufs [][]byte) int {
 		}
 		pts = append(pts, out...)
 	}
-	p.archivePoints(pts)
 
 	// Archived points count toward the subsystem shard they decode into.
 	perSub := [NumSubsystems]int64{}
@@ -774,7 +798,7 @@ func (p *Processor) processUserBatch(bufs [][]byte) int {
 	p.userStats.PaddedFeatures += adj.padded
 	p.userStats.TruncatedFeatures += adj.truncated
 	p.mu.Unlock()
-	return len(pts)
+	return pts
 }
 
 // archivePoints appends finished points to their subsystems' archive

@@ -8,6 +8,7 @@
 package wal
 
 import (
+	"sort"
 	"sync"
 
 	"tscout/internal/kernel"
@@ -57,6 +58,15 @@ type Config struct {
 	// configuration the offline runners exercise, with no group commit
 	// amortization.
 	Synchronous bool
+	// BucketGrainNS enables hierarchical commit batching: a flush
+	// partitions its batch into arrival-time buckets of this grain and
+	// pipelines them through the serializer and disk-writer threads
+	// bucket-by-bucket. The first bucket pays the full per-flush constants
+	// (buffer setup, fsync); later buckets ride the open flush and pay only
+	// marginal cost, and their commits resolve at their own bucket's write
+	// completion instead of waiting for the whole batch. Zero (the default)
+	// keeps the flat single-bucket flush every recorded experiment used.
+	BucketGrainNS int64
 }
 
 func (c Config) withDefaults() Config {
@@ -85,9 +95,27 @@ type Serializer struct {
 	pendingRecs int
 	pendingB    int64
 
+	// Deferred-submission state for the epoch driver: while deferMode is
+	// set, SubmitFrom stages commits instead of entering them into the
+	// pending batch, and CommitStaged replays the stage in a deterministic
+	// merged order at the epoch barrier.
+	deferMode bool
+	stage     []stagedCommit
+	stageSeq  map[int]uint64
+
 	flushes    int64
+	buckets    int64
 	recsLogged int64
 	bytesDone  int64
+}
+
+// stagedCommit is one deferred submission: the commit plus the merge key
+// (ArrivalNS, cpu, seq) that fixes its position in the barrier replay
+// independent of which goroutine staged first.
+type stagedCommit struct {
+	c   *Commit
+	cpu int
+	seq uint64
 }
 
 // New creates the WAL subsystem. The markers may be nil (uninstrumented
@@ -100,6 +128,7 @@ func New(k *kernel.Kernel, ts *tscout.TScout, serMarker, wrMarker *tscout.Marker
 		ts:        ts,
 		serMarker: serMarker,
 		wrMarker:  wrMarker,
+		stageSeq:  make(map[int]uint64),
 	}
 }
 
@@ -108,12 +137,26 @@ func New(k *kernel.Kernel, ts *tscout.TScout, serMarker, wrMarker *tscout.Marker
 // trips, the flush happens immediately (at nowNS) and the handle resolves
 // before Submit returns.
 func (s *Serializer) Submit(records []Record, nowNS int64) *Commit {
+	return s.SubmitFrom(records, nowNS, 0)
+}
+
+// SubmitFrom is Submit with the submitting task's simulated CPU. The CPU
+// matters only in deferred mode, where it is part of the deterministic
+// merge key; outside deferred mode SubmitFrom behaves exactly like Submit.
+func (s *Serializer) SubmitFrom(records []Record, nowNS int64, cpu int) *Commit {
 	var bytes int64
 	for _, r := range records {
 		bytes += r.Bytes
 	}
 	c := &Commit{Records: records, Bytes: bytes, ArrivalNS: nowNS}
 	s.mu.Lock()
+	if s.deferMode {
+		seq := s.stageSeq[cpu]
+		s.stageSeq[cpu] = seq + 1
+		s.stage = append(s.stage, stagedCommit{c: c, cpu: cpu, seq: seq})
+		s.mu.Unlock()
+		return c
+	}
 	s.pending = append(s.pending, c)
 	s.pendingRecs += len(records)
 	s.pendingB += bytes
@@ -123,6 +166,66 @@ func (s *Serializer) Submit(records []Record, nowNS int64) *Commit {
 		s.Flush(nowNS)
 	}
 	return c
+}
+
+// SetDeferMode switches deferred submission on or off. In deferred mode
+// SubmitFrom stages commits without flushing — the epoch driver turns it
+// on so per-CPU execution within an epoch never triggers a flush at a
+// goroutine-interleaving-dependent moment — and CommitStaged replays the
+// stage at the barrier. Turning defer mode off does not replay a non-empty
+// stage; call CommitStaged first.
+func (s *Serializer) SetDeferMode(v bool) {
+	s.mu.Lock()
+	s.deferMode = v
+	s.mu.Unlock()
+}
+
+// CommitStaged replays every staged submission in merged order — sorted by
+// (ArrivalNS, cpu, seq) — through the normal group-commit policy, firing
+// any batch-size-triggered flushes at the tripping commit's own arrival
+// time. The result is bit-identical to the commits having been submitted
+// serially in that order, which makes the epoch schedule a deterministic
+// function of per-CPU virtual time alone. It returns the number of commits
+// replayed. Per-CPU sequence counters reset afterwards so the next epoch
+// merges from zero.
+func (s *Serializer) CommitStaged() int {
+	s.mu.Lock()
+	staged := s.stage
+	s.stage = nil
+	s.stageSeq = make(map[int]uint64)
+	s.mu.Unlock()
+	if len(staged) == 0 {
+		return 0
+	}
+	sort.SliceStable(staged, func(i, j int) bool {
+		a, b := staged[i], staged[j]
+		if a.c.ArrivalNS != b.c.ArrivalNS {
+			return a.c.ArrivalNS < b.c.ArrivalNS
+		}
+		if a.cpu != b.cpu {
+			return a.cpu < b.cpu
+		}
+		return a.seq < b.seq
+	})
+	for _, sc := range staged {
+		s.mu.Lock()
+		s.pending = append(s.pending, sc.c)
+		s.pendingRecs += len(sc.c.Records)
+		s.pendingB += sc.c.Bytes
+		trip := s.cfg.Synchronous || len(s.pending) >= s.cfg.GroupSize
+		s.mu.Unlock()
+		if trip {
+			s.Flush(sc.c.ArrivalNS)
+		}
+	}
+	return len(staged)
+}
+
+// StagedCount returns the number of deferred submissions awaiting replay.
+func (s *Serializer) StagedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stage)
 }
 
 // Tick flushes the pending batch if the oldest commit has exceeded the
@@ -152,11 +255,18 @@ func (s *Serializer) NextDeadline() int64 {
 // Flush serializes and writes the pending batch at virtual time nowNS,
 // resolving every member commit. It is the log serializer OU followed by
 // the disk writer OU.
+//
+// With BucketGrainNS set the batch is split into arrival-time buckets and
+// pipelined: the serializer thread serializes bucket i+1 while the disk
+// writer flushes bucket i, the first bucket pays the per-flush constants
+// and later buckets only marginal cost, and each bucket's commits become
+// durable at that bucket's own write completion. Durability ordering is
+// preserved: buckets are flushed in arrival order and the writer clock is
+// monotone, so a commit never becomes durable before an earlier-arriving
+// one.
 func (s *Serializer) Flush(nowNS int64) {
 	s.mu.Lock()
 	batch := s.pending
-	recs := s.pendingRecs
-	bytes := s.pendingB
 	s.pending = nil
 	s.pendingRecs = 0
 	s.pendingB = 0
@@ -168,12 +278,59 @@ func (s *Serializer) Flush(nowNS int64) {
 	// The serializer thread wakes when the trigger fires.
 	s.serTask.Clock.AdvanceTo(nowNS)
 
+	for i, bucket := range s.partition(batch) {
+		s.flushBucket(bucket, i == 0)
+	}
+	s.mu.Lock()
+	s.flushes++
+	s.mu.Unlock()
+}
+
+// partition splits a batch into arrival-time buckets of BucketGrainNS,
+// preserving arrival order. With the grain unset the whole batch is one
+// bucket (the flat pre-hierarchical flush).
+func (s *Serializer) partition(batch []*Commit) [][]*Commit {
+	if s.cfg.BucketGrainNS <= 0 {
+		return [][]*Commit{batch}
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].ArrivalNS < batch[j].ArrivalNS })
+	var out [][]*Commit
+	start := 0
+	for i := 1; i <= len(batch); i++ {
+		if i == len(batch) ||
+			batch[i].ArrivalNS/s.cfg.BucketGrainNS != batch[start].ArrivalNS/s.cfg.BucketGrainNS {
+			out = append(out, batch[start:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// flushBucket runs one bucket through the serializer and disk-writer OUs.
+// The first bucket of a flush pays the full per-flush constants (flush
+// buffer setup, write header, the physical IO dispatch); later buckets of
+// the same flush append to the open buffer and ride the in-flight write.
+func (s *Serializer) flushBucket(bucket []*Commit, first bool) {
+	var recs int
+	var bytes int64
+	for _, c := range bucket {
+		recs += len(c.Records)
+		bytes += c.Bytes
+	}
+
+	serConst, wrConst := 9000.0, 4000.0
+	header, ops := int64(4096), int64(1)
+	if !first {
+		serConst, wrConst = 1500.0, 800.0
+		header, ops = 512, 0
+	}
+
 	// Log serializer OU: copy records into the flush buffer. Cost is
 	// per-record dominated with a per-byte term; group commit amortizes
 	// the per-batch constant, which is the behavior offline runners with
 	// singleton batches never observe.
 	serWork := sim.Work{
-		Instructions:    9000 + 650*float64(recs) + 0.45*float64(bytes),
+		Instructions:    serConst + 650*float64(recs) + 0.45*float64(bytes),
 		BytesTouched:    float64(bytes) + 64*float64(recs),
 		WorkingSetBytes: float64(bytes) + 4096,
 		AllocBytes:      bytes + 512,
@@ -184,18 +341,20 @@ func (s *Serializer) Flush(nowNS int64) {
 		s.serTask.Charge(serWork)
 		s.serMarker.End(s.serTask)
 		s.serMarker.Features(s.serTask, serWork.AllocBytes,
-			uint64(recs), uint64(bytes), uint64(len(batch)))
+			uint64(recs), uint64(bytes), uint64(len(bucket)))
 	} else {
 		s.serTask.Charge(serWork)
 	}
 
-	// The disk writer thread takes over when serialization finishes.
+	// The disk writer thread takes over when this bucket's serialization
+	// finishes — while, in the hierarchical pipeline, the serializer moves
+	// on to the next bucket.
 	s.wrTask.Clock.AdvanceTo(s.serTask.Now())
 	wrWork := sim.Work{
-		Instructions:   4000 + 0.05*float64(bytes),
+		Instructions:   wrConst + 0.05*float64(bytes),
 		BytesTouched:   512,
-		DiskWriteBytes: bytes + 4096, // header/padding per flush
-		DiskOps:        1,
+		DiskWriteBytes: bytes + header,
+		DiskOps:        ops,
 	}
 	if s.ts != nil && s.wrMarker != nil {
 		s.ts.BeginEvent(s.wrTask, tscout.SubsystemDiskWriter)
@@ -203,18 +362,18 @@ func (s *Serializer) Flush(nowNS int64) {
 		s.wrTask.Charge(wrWork)
 		s.wrMarker.End(s.wrTask)
 		s.wrMarker.Features(s.wrTask, 0,
-			uint64(bytes+4096), uint64(recs))
+			uint64(bytes+header), uint64(recs))
 	} else {
 		s.wrTask.Charge(wrWork)
 	}
 
 	done := s.wrTask.Now()
 	s.mu.Lock()
-	for _, c := range batch {
+	for _, c := range bucket {
 		c.DoneNS = done
 		c.Resolved = true
 	}
-	s.flushes++
+	s.buckets++
 	s.recsLogged += int64(recs)
 	s.bytesDone += bytes
 	s.mu.Unlock()
@@ -225,6 +384,14 @@ func (s *Serializer) Stats() (int64, int64, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flushes, s.recsLogged, s.bytesDone
+}
+
+// BucketsFlushed returns how many arrival-time buckets have been flushed
+// (equal to Stats' flush count when hierarchical batching is off).
+func (s *Serializer) BucketsFlushed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buckets
 }
 
 // PendingCount returns the number of unflushed commits.

@@ -169,3 +169,137 @@ func TestFlushEmptyIsNoop(t *testing.T) {
 	}
 	s.Tick(1 << 30) // nothing pending
 }
+
+func TestHierarchicalBucketsPreserveDurabilityOrder(t *testing.T) {
+	s, _ := newWAL(t, Config{GroupSize: 100, FlushIntervalNS: 1 << 40, BucketGrainNS: 1000})
+	// Commits spread over three arrival-time buckets (grain 1000ns).
+	var commits []*Commit
+	arrivals := []int64{100, 200, 1100, 1900, 2500, 2600}
+	for i, a := range arrivals {
+		commits = append(commits, s.Submit(testRecords(uint64(i), 2), a))
+	}
+	s.Flush(3000)
+	buckets := s.BucketsFlushed()
+	if buckets != 3 {
+		t.Fatalf("expected 3 arrival buckets, flushed %d", buckets)
+	}
+	flushes, recs, _ := s.Stats()
+	if flushes != 1 {
+		t.Fatalf("one hierarchical flush, got %d", flushes)
+	}
+	if recs != int64(len(arrivals))*3 {
+		t.Fatalf("records logged: %d", recs)
+	}
+	for i, c := range commits {
+		if !c.Resolved {
+			t.Fatalf("commit %d unresolved after flush", i)
+		}
+		if i > 0 && c.DoneNS < commits[i-1].DoneNS {
+			t.Fatalf("durability order violated: commit %d done %d before commit %d done %d",
+				i, c.DoneNS, i-1, commits[i-1].DoneNS)
+		}
+	}
+	// Distinct buckets resolve at distinct times: the early buckets do not
+	// wait for the whole batch.
+	if commits[0].DoneNS == commits[5].DoneNS {
+		t.Fatalf("bucketed commits must resolve per bucket, all resolved at %d", commits[0].DoneNS)
+	}
+	if commits[0].DoneNS != commits[1].DoneNS {
+		t.Fatalf("same-bucket commits share a durability time: %d vs %d",
+			commits[0].DoneNS, commits[1].DoneNS)
+	}
+}
+
+func TestHierarchicalBatchingAmortizesVsSeparateFlushes(t *testing.T) {
+	// The same commits pushed through one hierarchical flush must cost less
+	// writer time than through separate flat flushes: later buckets skip
+	// the per-flush constants and the IO dispatch.
+	run := func(grain int64, flushEach bool) int64 {
+		s, _ := newWAL(t, Config{GroupSize: 100, FlushIntervalNS: 1 << 40, BucketGrainNS: grain})
+		var last *Commit
+		for i := 0; i < 8; i++ {
+			last = s.Submit(testRecords(uint64(i), 2), int64(i)*1000)
+			if flushEach {
+				s.Flush(int64(i) * 1000)
+			}
+		}
+		if !flushEach {
+			s.Flush(8000)
+		}
+		return last.DoneNS
+	}
+	hier := run(1000, false)
+	flat := run(0, true)
+	if hier >= flat {
+		t.Fatalf("hierarchical batching must amortize: hierarchical done=%d >= separate flushes done=%d", hier, flat)
+	}
+}
+
+func TestDeferredSubmissionsReplayInMergedOrder(t *testing.T) {
+	// Staged submissions replay sorted by (ArrivalNS, cpu, seq) regardless
+	// of staging order, and group-size trips fire at the tripping commit's
+	// own arrival time — the property that makes the epoch barrier's WAL
+	// schedule independent of goroutine interleaving.
+	run := func(order []int) (int64, int64) {
+		s, _ := newWAL(t, Config{GroupSize: 3, FlushIntervalNS: 1 << 40})
+		s.SetDeferMode(true)
+		type sub struct {
+			txn     uint64
+			arrival int64
+			cpu     int
+		}
+		subs := []sub{
+			{1, 500, 0}, {2, 300, 1}, {3, 300, 0}, {4, 700, 2}, {5, 100, 3}, {6, 900, 1},
+		}
+		commits := make([]*Commit, len(subs))
+		for _, i := range order {
+			commits[i] = s.SubmitFrom(testRecords(subs[i].txn, 1), subs[i].arrival, subs[i].cpu)
+		}
+		if s.StagedCount() != len(subs) {
+			t.Fatalf("staged %d, want %d", s.StagedCount(), len(subs))
+		}
+		for _, c := range commits {
+			if c.Resolved {
+				t.Fatalf("deferred submission resolved before barrier")
+			}
+		}
+		if n := s.CommitStaged(); n != len(subs) {
+			t.Fatalf("replayed %d, want %d", n, len(subs))
+		}
+		// GroupSize 3: merged order is txn 5(100), 3(300@cpu0), 2(300@cpu1)
+		// -> flush at 300; then 1(500), 4(700), 6(900) -> flush at 900.
+		if !commits[4].Resolved || !commits[1].Resolved || !commits[2].Resolved {
+			t.Fatalf("first merged group unresolved")
+		}
+		if commits[4].DoneNS != commits[2].DoneNS {
+			t.Fatalf("first group must share a durability time")
+		}
+		if commits[0].DoneNS <= commits[4].DoneNS {
+			t.Fatalf("second group must resolve after the first")
+		}
+		return commits[4].DoneNS, commits[5].DoneNS
+	}
+	a1, a2 := run([]int{0, 1, 2, 3, 4, 5})
+	b1, b2 := run([]int{5, 4, 3, 2, 1, 0})
+	if a1 != b1 || a2 != b2 {
+		t.Fatalf("staging order leaked into the replay schedule: (%d,%d) vs (%d,%d)", a1, a2, b1, b2)
+	}
+}
+
+func TestSetDeferModeOffKeepsStage(t *testing.T) {
+	s, _ := newWAL(t, Config{GroupSize: 100, FlushIntervalNS: 1 << 40})
+	s.SetDeferMode(true)
+	s.SubmitFrom(testRecords(1, 1), 100, 0)
+	s.SetDeferMode(false)
+	if s.StagedCount() != 1 {
+		t.Fatalf("turning defer mode off must not drop the stage")
+	}
+	if n := s.CommitStaged(); n != 1 {
+		t.Fatalf("replayed %d, want 1", n)
+	}
+	// Off again: submissions go straight to pending.
+	s.Submit(testRecords(2, 1), 200)
+	if s.PendingCount() != 2 {
+		t.Fatalf("pending: %d", s.PendingCount())
+	}
+}

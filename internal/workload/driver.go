@@ -50,6 +50,22 @@ type Config struct {
 	// samples); accuracy experiments turn it on because they consume the
 	// training data itself.
 	FinalDrain bool
+	// PoolSessions engages the pooled multi-core epoch driver: terminals
+	// multiplex onto this many pooled DBMS sessions (pinned round-robin
+	// across the simulated CPUs) behind an admission gate, which is how the
+	// driver scales to thousands of terminals. Zero keeps the legacy
+	// one-session-per-terminal single-clock driver that every recorded
+	// experiment used.
+	PoolSessions int
+	// AdmissionQueueDepth bounds the admission gate's FIFO wait queue;
+	// terminals arriving beyond it are refused and retry later. Zero means
+	// unbounded (pure backpressure, no rejections). Pooled driver only.
+	AdmissionQueueDepth int
+	// EpochNS is the epoch length of the multi-core engine: per-CPU
+	// execution proceeds independently within an epoch and cross-CPU
+	// events reconcile at the barrier. Default: ProcessorPollNS. Pooled
+	// driver only.
+	EpochNS int64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +104,14 @@ type Result struct {
 	// Processor is the drain pipeline's self-observed telemetry at the
 	// end of the run (zero value for uninstrumented runs).
 	Processor tscout.ProcessorStats
+	// Admission is the gate's census at the end of a pooled run (zero
+	// value for the legacy driver).
+	Admission dbms.GateStats
+	// Epochs and BarrierEvents report the multi-core engine's activity in
+	// a pooled run: epochs executed and cross-CPU events merged at
+	// barriers.
+	Epochs        int64
+	BarrierEvents int64
 }
 
 type terminal struct {
@@ -98,9 +122,13 @@ type terminal struct {
 }
 
 // Run drives the generator against the server until the transaction
-// budget is exhausted.
+// budget is exhausted. With Config.PoolSessions set it runs the pooled
+// multi-core epoch driver; otherwise the legacy single-clock driver.
 func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.PoolSessions > 0 {
+		return runPooled(srv, gen, cfg)
+	}
 	srv.Kernel.SetLoadFactor(float64(cfg.Terminals))
 	defer srv.Kernel.SetLoadFactor(1)
 

@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tscout/internal/dbms"
+	"tscout/internal/sim"
+	"tscout/internal/tscout"
+	"tscout/internal/wal"
+)
+
+// The pooled epoch driver is the multi-core counterpart of the legacy
+// single-clock driver: thousands of terminals multiplex onto a bounded
+// pool of DBMS sessions (pinned across the simulated CPUs) behind an
+// admission gate, and virtual time advances per CPU within fixed epochs.
+//
+// Determinism argument. The driver is one goroutine; what makes the
+// schedule a pure function of the seed at any CPU count is that no
+// decision ever consults wall-clock state or map iteration order:
+//
+//   - Admission scans terminals in index order; grants hand slots to
+//     waiters in FIFO order.
+//   - Each CPU executes its runqueue in admission order against its own
+//     timeline; no step reads another CPU's clock.
+//   - WAL submissions during the epoch are staged (deferred mode), then
+//     replayed at the barrier in (ArrivalNS, cpu, seq) order, so flush
+//     batching is independent of the order the CPUs were driven in.
+//   - Terminal completions (commit durability, read-only finishes,
+//     aborts) are deferred as epoch events and applied at the barrier in
+//     (AtNS, CPU, seq) order, so slot releases — and therefore which
+//     waiter is granted when — follow virtual time, not execution order.
+//
+// Every cross-CPU interaction thus funnels through one of two sorted
+// merges, both keyed only by virtual timestamps the per-CPU schedules
+// produced. NumCPUs=1 collapses to a single timeline with the same merge
+// rules, and any NumCPUs gives bit-identical archives for the same seed.
+
+type pooledTerminal struct {
+	idx     int
+	rng     *rand.Rand
+	readyNS int64
+	ticket  *dbms.Ticket
+	se      *dbms.Session
+	pending *wal.Commit
+	startNS int64
+}
+
+// runPooled drives the generator with the pooled multi-core epoch engine.
+func runPooled(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
+	poolSize := cfg.PoolSessions
+	if poolSize > cfg.Terminals {
+		poolSize = cfg.Terminals
+	}
+	epochNS := cfg.EpochNS
+	if epochNS <= 0 {
+		epochNS = cfg.ProcessorPollNS
+	}
+	if epochNS <= 0 {
+		epochNS = 100_000
+	}
+
+	// Contention scales with the workers actually executing, not the
+	// terminal census: an idle queued terminal holds no latches.
+	srv.Kernel.SetLoadFactor(float64(poolSize))
+	defer srv.Kernel.SetLoadFactor(1)
+
+	numCPUs := srv.Kernel.NumCPUs()
+	gate := dbms.NewAdmissionGate(poolSize, cfg.AdmissionQueueDepth)
+	pool := dbms.NewSessionPool(srv, poolSize)
+	tl := sim.NewCPUTimelines(numCPUs)
+	ep := sim.NewEpochs(tl, epochNS)
+
+	terms := make([]*pooledTerminal, cfg.Terminals)
+	for i := range terms {
+		terms[i] = &pooledTerminal{
+			idx: i,
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+	}
+
+	var (
+		res         Result
+		latencies   []int64
+		lastPoll    int64
+		basePoints  int64
+		maxDoneNS   int64
+		started     int
+		outstanding int // tickets issued for txns not yet started
+		runq        = make([][]*pooledTerminal, numCPUs)
+	)
+	if srv.TS != nil {
+		basePoints = srv.TS.Processor().Stats().Processed
+	}
+
+	srv.WAL.SetDeferMode(true)
+	defer srv.WAL.SetDeferMode(false)
+
+	// finishRelease completes a terminal's transaction at virtual time
+	// atNS: the latency is recorded, the session returns to the pool, and
+	// the slot release grants the FIFO head. Runs only inside a barrier.
+	finishRelease := func(t *pooledTerminal, atNS int64, completed bool) {
+		if completed {
+			latencies = append(latencies, atNS-t.startNS)
+			res.Completed++
+		}
+		if atNS > maxDoneNS {
+			maxDoneNS = atNS
+		}
+		pool.Put(t.se)
+		gate.Release(t.ticket, atNS)
+		t.se = nil
+		t.ticket = nil
+		t.readyNS = atNS
+	}
+
+	claim := func(t *pooledTerminal) {
+		se := pool.Get()
+		if se == nil {
+			// Unreachable: gate slots == pool size, so every grant has a
+			// free session.
+			panic("workload: admission granted with no pooled session free")
+		}
+		se.ExternalCollect = cfg.ExternalCollect
+		t.se = se
+		if g := t.ticket.GrantNS(); g > t.readyNS {
+			t.readyNS = g
+		}
+		cpu := se.Task.CPU()
+		runq[cpu] = append(runq[cpu], t)
+	}
+
+	for res.Completed+res.Aborted < cfg.Transactions {
+		epochStart, epochEnd := ep.Start(), ep.End()
+
+		// --- Admission (epoch start) ----------------------------------
+		// First bind sessions to terminals granted at the previous
+		// barrier, then let idle terminals ask for slots — both in
+		// terminal index order.
+		for _, t := range terms {
+			if t.se == nil && t.ticket != nil && t.ticket.Granted() {
+				claim(t)
+			}
+		}
+		for _, t := range terms {
+			if t.se != nil || t.ticket != nil || t.readyNS >= epochEnd {
+				continue
+			}
+			if started+outstanding >= cfg.Transactions {
+				break
+			}
+			at := t.readyNS
+			if at < epochStart {
+				at = epochStart
+			}
+			tk, outcome := gate.Acquire(at)
+			switch outcome {
+			case dbms.Granted:
+				t.ticket = tk
+				outstanding++
+				claim(t)
+			case dbms.Queued:
+				t.ticket = tk
+				outstanding++
+			case dbms.Rejected:
+				// Refused connections back off a full epoch before
+				// retrying.
+				t.readyNS = epochEnd
+			}
+		}
+
+		// --- Per-CPU execution ----------------------------------------
+		ranAny := false
+		for c := 0; c < numCPUs; c++ {
+			for len(runq[c]) > 0 && tl.Now(c) < epochEnd {
+				t := runq[c][0]
+				runq[c] = runq[c][1:]
+				outstanding--
+				started++
+				ranAny = true
+				task := t.se.Task
+				begin := tl.Now(c)
+				if t.readyNS > begin {
+					begin = t.readyNS
+				}
+				task.Clock.AdvanceTo(begin)
+				t.startNS = task.Now()
+				for i := 0; i < cfg.ContextSwitchesPerTxn; i++ {
+					task.ContextSwitch()
+				}
+				commit, err := gen.Txn(t.se, t.rng)
+				switch {
+				case err != nil && dbms.IsConflict(err):
+					res.Aborted++
+					tt := t
+					ep.Defer(c, task.Now(), func(at int64) { finishRelease(tt, at, false) })
+				case err != nil:
+					return res, fmt.Errorf("workload %s: %w", gen.Name(), err)
+				case commit == nil:
+					tt := t
+					ep.Defer(c, task.Now(), func(at int64) { finishRelease(tt, at, true) })
+				default:
+					// Deferred-mode submissions never resolve inline; the
+					// terminal holds its slot until a barrier observes
+					// durability.
+					t.pending = commit
+				}
+				tl.AdvanceTo(c, task.Now())
+			}
+		}
+
+		// --- Barrier ---------------------------------------------------
+		// Replay the epoch's staged WAL submissions in merged order (this
+		// fires group-size flushes), then the interval flush, then turn
+		// every observed durability into a deferred completion event.
+		srv.WAL.CommitStaged()
+		srv.WAL.Tick(epochEnd)
+		for _, t := range terms {
+			if t.pending == nil || !t.pending.Resolved {
+				continue
+			}
+			done := t.pending.DoneNS
+			t.pending = nil
+			tt := t
+			ep.Defer(tt.se.Task.CPU(), done, func(at int64) {
+				tt.se.Task.Clock.AdvanceTo(at)
+				finishRelease(tt, at, true)
+			})
+		}
+		applied := ep.Barrier()
+		res.Epochs = ep.Index()
+		res.BarrierEvents = ep.Applied()
+
+		// The Processor drains on the poll schedule, one period's budget
+		// per wakeup (no catch-up credit), exactly as in the legacy
+		// driver.
+		if srv.TS != nil && cfg.ProcessorPollNS > 0 && epochEnd-lastPoll >= cfg.ProcessorPollNS {
+			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(cfg.ProcessorPollNS)})
+			lastPoll = epochEnd
+		}
+
+		// --- Fast-forward ---------------------------------------------
+		// Find the next schedulable event: the WAL's flush deadline, the
+		// clock of any CPU with queued work (commit durabilities
+		// fast-forward session clocks and the timeline follows, stranding
+		// the runqueue until the window catches up), a granted-but-
+		// unclaimed terminal's grant time, or — while budget remains — an
+		// idle terminal's ready time. Skipping the window straight there
+		// costs O(1) epochs per event instead of a fixed-length march,
+		// which is what keeps wide topologies (few sessions per CPU,
+		// large clock leaps) from burning empty catch-up epochs.
+		next := int64(-1)
+		observe := func(v int64) {
+			if next < 0 || v < next {
+				next = v
+			}
+		}
+		if dl := srv.WAL.NextDeadline(); dl >= 0 {
+			observe(dl)
+		}
+		for c := 0; c < numCPUs; c++ {
+			if len(runq[c]) > 0 {
+				observe(tl.Now(c))
+			}
+		}
+		for _, t := range terms {
+			switch {
+			case t.se == nil && t.ticket != nil && t.ticket.Granted():
+				observe(t.ticket.GrantNS())
+			case t.se == nil && t.ticket == nil && t.pending == nil &&
+				started+outstanding < cfg.Transactions:
+				observe(t.readyNS)
+			}
+		}
+		if next < 0 {
+			if !ranAny && applied == 0 {
+				var pending, queued, granted, idle int
+				for _, t := range terms {
+					switch {
+					case t.pending != nil:
+						pending++
+					case t.ticket != nil && t.ticket.Granted():
+						granted++
+					case t.ticket != nil:
+						queued++
+					default:
+						idle++
+					}
+				}
+				return res, fmt.Errorf(
+					"workload: deadlock — terminals pending=%d granted=%d queued=%d idle=%d, staged=%d, started=%d outstanding=%d, gate=%+v",
+					pending, granted, queued, idle, srv.WAL.StagedCount(), started, outstanding, gate.Stats())
+			}
+		} else if next >= epochEnd {
+			ep.SkipTo(next)
+		}
+	}
+
+	// --- Wind down ----------------------------------------------------
+	// Replay any straggler submissions, flush the WAL dry, and run the
+	// final drain with the legacy driver's semantics.
+	srv.WAL.CommitStaged()
+	srv.WAL.SetDeferMode(false)
+	if dl := srv.WAL.NextDeadline(); dl >= 0 {
+		srv.WAL.Tick(dl)
+	}
+	elapsed := tl.Makespan()
+	if maxDoneNS > elapsed {
+		elapsed = maxDoneNS
+	}
+	if srv.TS != nil && cfg.ProcessorPollNS > 0 {
+		period := elapsed - lastPoll
+		if period < cfg.ProcessorPollNS {
+			period = cfg.ProcessorPollNS
+		}
+		if cfg.FinalDrain {
+			srv.TS.Processor().Drain(tscout.DrainOptions{})
+		} else {
+			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(period)})
+		}
+	} else if srv.TS != nil {
+		srv.TS.Processor().Drain(tscout.DrainOptions{})
+	}
+	if srv.TS != nil {
+		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints
+		res.Processor = srv.TS.Processor().Stats()
+	}
+
+	res.Admission = gate.Stats()
+	res.ElapsedNS = elapsed
+	if elapsed > 0 {
+		res.ThroughputTPS = float64(res.Completed) / (float64(elapsed) / 1e9)
+		res.SamplesPerSec = float64(res.TrainingPoints) / (float64(elapsed) / 1e9)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50NS = latencies[len(latencies)/2]
+		res.P99NS = latencies[len(latencies)*99/100]
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanNS = sum / int64(len(latencies))
+	}
+	return res, nil
+}

@@ -9,9 +9,12 @@ go vet ./...
 go run ./internal/analysis/bpfcheck .
 go test -race -timeout 45m ./...
 
-# Single-shot smoke of the per-CPU drain benchmark: the batched drain path
-# must assemble and run at every thread/topology combination.
+# Single-shot smoke of the per-CPU drain benchmark and the end-to-end
+# multi-core scaling benchmark: the batched drain path must assemble at
+# every thread/topology combination, and the pooled epoch driver must run
+# at 1/8/32/64 CPUs.
 go test -bench '^BenchmarkDrainPerCPUvsSingle$' -benchtime 1x -run xxx .
+go test -bench '^BenchmarkEndToEndNumCPUs$' -benchtime 1x -run xxx .
 
 # JIT smoke: every generated Collector program must compile (zero
 # declines) and agree with the interpreter on differential spot-checks;
@@ -22,6 +25,10 @@ go test -bench '^BenchmarkCollectorInterpVsCompiled$' -benchtime 1x -run xxx .
 # Seed-corpus chaos runs: the pipeline under deterministic fault schedules
 # must satisfy the exact accounting identities at every drain parallelism.
 go test ./internal/tscout -run '^TestChaos' -count=1
+
+# Scale smoke: 1000 terminals on 96 pooled sessions behind the admission
+# gate, plus the (NumCPUs x drain parallelism) determinism grid.
+go test ./internal/workload -run '^(TestScaleSmoke|TestEpochEngineDeterminism|TestPooledBoundedQueueRejects)$' -count=1
 
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
 # pattern per package invocation is a go test restriction).
@@ -34,4 +41,5 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test ./internal/bpf -run '^$' -fuzz '^FuzzPerCPURing$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzFaultSchedule$' -fuzztime "$fuzztime"
+	go test ./internal/kernel -run '^$' -fuzz '^FuzzPerCPUFaultOrder$' -fuzztime "$fuzztime"
 fi
