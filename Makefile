@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke jit-smoke chaos-smoke scale-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint analyze-smoke test race bench bench-smoke jit-smoke chaos-smoke scale-smoke figures fuzz-smoke cover
 
-check: build lint race bench-smoke jit-smoke chaos-smoke scale-smoke
+check: build lint analyze-smoke race bench-smoke jit-smoke chaos-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint = go vet plus the repo-local verify-before-run analysis (bpfcheck):
-# no non-test code may construct a bpf.LoadedProgram directly or discard
-# the error from the bpf verification entry points.
+# lint = go vet plus tsvet, the repo's typed static-analysis suite
+# (internal/analysis): determinism rules (wall-clock, map-order,
+# seeded-source), the guarded-by annotation checker, and the
+# verify-before-run rules (constructed-loaded-program,
+# discarded-verify-error, discarded-run-error). Zero unsuppressed findings
+# required; suppressions are //tsvet:ignore <rule> <reason>.
 lint: vet
-	$(GO) run ./internal/analysis/bpfcheck .
+	$(GO) run ./internal/analysis/tsvet .
+
+# analyze-smoke runs tsvet's own golden-fixture tests: each analyzer
+# against its testdata/src/<rule>/ corpus, the suppression-layer fixture,
+# and the repo-wide cleanliness gate.
+analyze-smoke:
+	$(GO) test ./internal/analysis -count=1
 
 test:
 	$(GO) test ./...

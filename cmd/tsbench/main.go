@@ -44,12 +44,19 @@ func main() {
 func run(which string, sc experiment.Scale) error {
 	all := which == "all"
 	did := false
-	for name, fn := range map[string]func(experiment.Scale) error{
-		"fig1": fig1, "fig2": fig2, "fig5": fig5, "fig6": fig6,
-		"fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
-		"fig11": fig11, "fig12": fig12, "summary": summary,
-		"ablations": ablations,
-	} {
+	// Paper order, not map order: `tsbench all` must run (and print) the
+	// figures in the same sequence every time.
+	figures := []struct {
+		name string
+		fn   func(experiment.Scale) error
+	}{
+		{"fig1", fig1}, {"fig2", fig2}, {"fig5", fig5}, {"fig6", fig6},
+		{"fig7", fig7}, {"fig8", fig8}, {"fig9", fig9}, {"fig10", fig10},
+		{"fig11", fig11}, {"fig12", fig12}, {"summary", summary},
+		{"ablations", ablations},
+	}
+	for _, fig := range figures {
+		name, fn := fig.name, fig.fn
 		if all || which == name {
 			did = true
 			if err := fn(sc); err != nil {

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+
+	"tscout/internal/analysis"
+)
+
+// analyze runs the tsvet static-analysis suite (internal/analysis) over the
+// given roots — the same gate `make lint` enforces, exposed on the operator
+// CLI so a deployment checkout can be audited without make. args are passed
+// through to the tsvet driver: [-json] [dir ...], default ".".
+func analyze(out io.Writer, args []string) int {
+	return analysis.Main(out, args)
+}

@@ -19,6 +19,11 @@
 //	tsctl vet                   verify, optimize, and lint every generated
 //	                            Collector program across all subsystems and
 //	                            resource masks; non-zero exit on any failure
+//	tsctl analyze [-json] [dir ...]
+//	                            run the tsvet static-analysis suite (wall
+//	                            clock, map order, guarded-by, seeded
+//	                            sources, discarded verify/run errors) over
+//	                            the source tree; non-zero exit on findings
 package main
 
 import (
@@ -36,12 +41,16 @@ import (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet")
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet|analyze")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "vet" {
 		// vet audits the Codegen output directly; it needs no server.
 		os.Exit(vet(os.Stdout))
+	}
+	if flag.Arg(0) == "analyze" {
+		// analyze audits the source tree; it needs no server either.
+		os.Exit(analyze(os.Stdout, flag.Args()[1:]))
 	}
 	srv, err := dbms.NewServer(dbms.Config{
 		Seed:       1,

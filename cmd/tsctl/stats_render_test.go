@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tscout/internal/bpf"
+	"tscout/internal/tscout"
+)
+
+// fullyPopulatedStats builds a ProcessorStats snapshot that exercises every
+// optional section of the renderer: per-CPU rings, batch histogram,
+// resilience counters, codegen savings, and the JIT table with both native
+// run counts and interpreter decline-reason cells.
+func fullyPopulatedStats() tscout.ProcessorStats {
+	var st tscout.ProcessorStats
+	st.Polls = 12
+	st.Parallelism = 4
+	st.GlobalBudget = 512
+	st.EffectiveBudget = 384
+	st.Processed = 9000
+	st.SinkRetries = 2
+	st.SinkRetryDrops = 1
+	for i := range st.Kernel {
+		st.Kernel[i] = tscout.SubsystemStats{
+			Submitted: int64(1000 * (i + 1)), Drained: int64(900 * (i + 1)),
+			Dropped: int64(100 * (i + 1)), Points: int64(890 * (i + 1)),
+			WrapClamps: int64(i),
+		}
+		st.Rings[i] = []bpf.RingStats{
+			{Submitted: int64(100 + i), Drained: int64(90 + i), Dropped: int64(10 + i)},
+			{}, // quiet ring: elided, counted in the footer
+			{Submitted: int64(7 * (i + 1)), Drained: int64(7 * (i + 1))},
+		}
+		st.Codegen[i] = tscout.CollectorOptStats{
+			Enabled:  true,
+			Begin:    bpf.OptStats{BeforeInsns: 40 + i, AfterInsns: 30 + i},
+			End:      bpf.OptStats{BeforeInsns: 60 + i, AfterInsns: 45 + i},
+			Features: bpf.OptStats{BeforeInsns: 80 + i, AfterInsns: 70 + i},
+		}
+		st.JIT[i] = tscout.CollectorJITStats{
+			Enabled: true,
+			Begin:   bpf.ProgramJITStats{Attempted: true, Compiled: true, CompiledRuns: int64(500 * (i + 1))},
+			End:     bpf.ProgramJITStats{Attempted: true, Compiled: true, CompiledRuns: int64(400 * (i + 1))},
+			Features: bpf.ProgramJITStats{
+				Attempted: true, Compiled: false,
+				DeclineReason: "helper-out-of-range", InterpRuns: int64(300 * (i + 1)),
+			},
+		}
+	}
+	st.User = tscout.SubsystemStats{Submitted: 77, Drained: 77, Points: 77}
+	st.BatchSizeHist = [tscout.BatchHistBuckets]int64{3, 8, 21, 5, 1, 0}
+	return st
+}
+
+// TestFormatProcessorStatsDeterministic pins the renderer's determinism:
+// every table is backed by arrays or ordered slices (never raw map
+// iteration), so rendering the same snapshot twice yields byte-identical
+// output — the property the tsvet map-order rule enforces at compile time.
+func TestFormatProcessorStatsDeterministic(t *testing.T) {
+	st := fullyPopulatedStats()
+	first := formatProcessorStats(st)
+	for i := 0; i < 20; i++ {
+		if got := formatProcessorStats(st); got != first {
+			t.Fatalf("render %d differs from first render:\n--- first ---\n%s\n--- got ---\n%s", i, first, got)
+		}
+	}
+
+	// The snapshot must actually have driven every optional section, or
+	// the byte-compare proves less than it claims.
+	for _, section := range []string{
+		"per-cpu rings", "quiet-rings=", "batch-size hist:", "resilience:",
+		"codegen insns", "total-insns-saved=", "jit (native runs",
+		"interp:helper-out-of-range", "compiled-programs=",
+	} {
+		if !strings.Contains(first, section) {
+			t.Errorf("rendered stats missing section %q:\n%s", section, first)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedByAnalyzer checks `// guarded by <mutex>` struct-field
+// annotations. The grammar: a field's doc or line comment containing
+// `guarded by <path>`, where <path> is a dot-separated chain whose first
+// segment names a sibling field of the same struct (usually the mutex
+// itself: `guarded by mu`; for state guarded through a back-pointer,
+// `guarded by g.mu`). Every access to an annotated field must then occur
+// in a function that acquires the named mutex — a call to
+// <anything>.<final-segment>.Lock/RLock/TryLock/TryRLock — or in a method
+// whose name ends in "Locked", the repo's convention for "caller holds
+// the lock". Keyed composite literals (construction before the value
+// escapes) are inherently safe and never flagged.
+//
+// The check is flow-insensitive by design: it proves the cheap 95% (the
+// function never touches the mutex at all) and leaves lock-ordering and
+// release-before-use to the race detector.
+var GuardedByAnalyzer = &Analyzer{
+	Name: RuleGuardedBy,
+	Doc: "fields annotated `// guarded by <mutex>` may only be accessed in " +
+		"functions that lock that mutex (or in ...Locked methods)",
+	Run: runGuardedBy,
+}
+
+// The path grammar: dot-separated identifiers, with no trailing dot — a
+// sentence like "guarded by mu." must bind to "mu", not "mu.".
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+
+// gbAnnot records one annotated field: the final segment of the mutex
+// path is what lock acquisitions are matched against.
+type gbAnnot struct {
+	mutexPath  string
+	mutexFinal string
+}
+
+func runGuardedBy(pass *Pass) {
+	annots := collectGuardedBy(pass)
+	if len(annots) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fd, annots)
+		}
+	}
+}
+
+// collectGuardedBy finds every annotated struct field in the pass and
+// validates the annotation against the struct's own field list. Malformed
+// annotations are findings themselves: an annotation that silently binds
+// to nothing is a hole in the proof.
+func collectGuardedBy(pass *Pass) map[*types.Var]gbAnnot {
+	annots := make(map[*types.Var]gbAnnot)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := make(map[string]types.Type)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						siblings[name.Name] = obj.Type()
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				path := annotationPath(field)
+				if path == "" || len(field.Names) == 0 {
+					continue
+				}
+				segs := strings.Split(path, ".")
+				rootType, ok := siblings[segs[0]]
+				if !ok {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sibling field of this struct", segs[0])
+					continue
+				}
+				if len(segs) == 1 && !isMutexType(rootType) {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex", path)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						annots[obj] = gbAnnot{mutexPath: path, mutexFinal: segs[len(segs)-1]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return annots
+}
+
+// annotationPath extracts the `guarded by <path>` target from a field's
+// doc or line comment, or "".
+func annotationPath(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t (through one pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+// checkGuardedFunc verifies every annotated-field access in fd against the
+// mutexes fd acquires anywhere in its body (closures included: an inline
+// closure runs under the lock its enclosing function holds).
+func checkGuardedFunc(pass *Pass, fd *ast.FuncDecl, annots map[*types.Var]gbAnnot) {
+	callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		case *ast.Ident:
+			locked[recv.Name] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		annot, ok := annots[fieldVar]
+		if !ok {
+			return true
+		}
+		if callerHolds || locked[annot.mutexFinal] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is guarded by %s, but %s never locks it (lock it, or rename the function ...Locked if the caller holds it)",
+			fieldVar.Name(), annot.mutexPath, fd.Name.Name)
+		return true
+	})
+}

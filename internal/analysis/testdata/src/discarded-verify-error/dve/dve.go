@@ -1,0 +1,55 @@
+// Package dvefix exercises discarded-verify-error: the error from the bpf
+// verification entry points must be checked, never dropped or blanked.
+package dvefix
+
+import "tscout/internal/bpf"
+
+func bare(p *bpf.Program) {
+	bpf.Verify(p, 512) // want:discarded-verify-error
+}
+
+func inGoroutine(p *bpf.Program) {
+	go bpf.Verify(p, 512) // want:discarded-verify-error
+}
+
+func deferred(p *bpf.Program) {
+	defer bpf.Verify(p, 512) // want:discarded-verify-error
+}
+
+func blankedAnalyze(p *bpf.Program) *bpf.Analysis {
+	a, _ := bpf.Analyze(p, 512) // want:discarded-verify-error
+	return a
+}
+
+func blankedLoad(p *bpf.Program) *bpf.LoadedProgram {
+	lp, _ := bpf.Load(p, 512) // want:discarded-verify-error
+	return lp
+}
+
+func blankedOptimize(p *bpf.Program) *bpf.Program {
+	op, _, _ := bpf.Optimize(p, 512) // want:discarded-verify-error
+	return op
+}
+
+// Checking or propagating the verdict is the contract: not flagged.
+func checked(p *bpf.Program) error {
+	return bpf.Verify(p, 512)
+}
+
+func handled(p *bpf.Program) (*bpf.Analysis, error) {
+	return bpf.Analyze(p, 512)
+}
+
+// Blanking the stats while keeping the error is fine: not flagged.
+func statsDropped(p *bpf.Program) (*bpf.Program, error) {
+	op, _, err := bpf.Optimize(p, 512)
+	return op, err
+}
+
+// A local function that happens to be called Verify is not bpf.Verify —
+// the old name-matching pass could not tell them apart. Not flagged.
+func Verify(n int) error { return nil }
+
+func callsLocal() {
+	Verify(3)
+}

@@ -1,0 +1,69 @@
+// Package gbfix exercises the guarded-by rule: annotated fields may only be
+// touched by functions that lock the named mutex or advertise the caller's
+// lock with a ...Locked name.
+package gbfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int  // guarded by mu
+	ok bool // unannotated: never checked
+}
+
+// Locks the named mutex: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Touches c.n without the lock: flagged.
+func (c *counter) bad() int {
+	return c.n // want:guarded-by
+}
+
+// The ...Locked suffix says the caller holds mu: clean.
+func (c *counter) readLocked() int {
+	return c.n
+}
+
+// Unannotated fields are free: clean.
+func (c *counter) flag() bool { return c.ok }
+
+// Keyed composite literals construct before the value escapes: clean.
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+type gate struct{ mu sync.Mutex }
+
+// State guarded through a back-pointer: the path's first segment must be a
+// sibling field; lock acquisition matches on the final segment.
+type ticket struct {
+	g       *gate
+	granted bool // guarded by g.mu
+}
+
+func (t *ticket) grant() {
+	t.g.mu.Lock()
+	t.granted = true
+	t.g.mu.Unlock()
+}
+
+func (t *ticket) peek() bool {
+	return t.granted // want:guarded-by
+}
+
+// Malformed annotations are findings themselves: an annotation that binds
+// to nothing would be a silent hole in the proof.
+type badAnnot struct {
+	x int // guarded by missing -- no such sibling; want:guarded-by
+}
+
+type notMutex struct {
+	lock int
+	y    int // guarded by lock -- not a mutex; want:guarded-by
+}
+
+func use(b *badAnnot, n *notMutex) int { return b.x + n.y + n.lock }

@@ -1,0 +1,18 @@
+// Command tsvet runs the repo's typed static-analysis suite (see
+// internal/analysis) over one or more source trees. Wired into `make lint`
+// and scripts/check.sh; also reachable as `tsctl analyze`.
+//
+// Usage: tsvet [-json] [dir ...]   (defaults to ".")
+//
+// Exit status: 0 clean, 1 findings, 2 driver failure.
+package main
+
+import (
+	"os"
+
+	"tscout/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, os.Args[1:]))
+}

@@ -20,13 +20,13 @@ type PerfOutputTarget interface {
 // per-CPU isolation is the whole point of the structure.
 type cpuRing struct {
 	mu        sync.Mutex
-	slots     [][]byte
-	head      int // index of oldest entry
-	count     int
-	high      int
-	submitted int64
-	drained   int64
-	dropped   int64
+	slots     [][]byte // guarded by mu
+	head      int      // index of oldest entry; guarded by mu
+	count     int      // guarded by mu
+	high      int      // guarded by mu
+	submitted int64    // guarded by mu
+	drained   int64    // guarded by mu
+	dropped   int64    // guarded by mu
 	_         [64]byte
 }
 
@@ -112,7 +112,7 @@ func NewPerCPURing(name string, numCPUs, perCPUCapacity int) *PerCPURing {
 	}
 	r := &PerCPURing{name: name, perCPUCap: perCPUCapacity, rings: make([]cpuRing, numCPUs)}
 	for i := range r.rings {
-		r.rings[i].slots = make([][]byte, perCPUCapacity)
+		r.rings[i].slots = make([][]byte, perCPUCapacity) //tsvet:ignore guarded-by construction: the ring has not escaped, nothing can race yet
 	}
 	return r
 }

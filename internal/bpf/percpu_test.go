@@ -13,8 +13,8 @@ func TestPerCPURingRoutesByCPU(t *testing.T) {
 	r.SubmitFrom(0, []byte{0})
 	r.SubmitFrom(2, []byte{2})
 	r.SubmitFrom(2, []byte{22})
-	r.Submit([]byte{1}) // compat path: CPU 0
-	r.SubmitFrom(6, []byte{3}) // out of range: wraps to CPU 2
+	r.Submit([]byte{1})         // compat path: CPU 0
+	r.SubmitFrom(6, []byte{3})  // out of range: wraps to CPU 2
 	r.SubmitFrom(-1, []byte{4}) // negative: clamps to CPU 0
 
 	wantPending := []int{3, 0, 3, 0}

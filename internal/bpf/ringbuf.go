@@ -13,14 +13,14 @@ type PerfRingBuffer struct {
 	capacity int
 
 	mu      sync.Mutex
-	entries [][]byte
-	head    int // index of oldest entry
-	count   int
-	high    int
+	entries [][]byte // guarded by mu
+	head    int      // index of oldest entry; guarded by mu
+	count   int      // guarded by mu
+	high    int      // guarded by mu
 
-	submitted int64
-	drained   int64
-	dropped   int64
+	submitted int64 // guarded by mu
+	drained   int64 // guarded by mu
+	dropped   int64 // guarded by mu
 }
 
 // NewPerfRingBuffer creates a ring buffer holding at most capacity samples.

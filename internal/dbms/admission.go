@@ -47,10 +47,11 @@ func (o AdmissionOutcome) String() string {
 // FIFO reaches it.
 type Ticket struct {
 	g       *AdmissionGate
-	granted bool
+	granted bool // guarded by g.mu
 	// grantNS is the virtual time the slot was granted (the enqueue time
 	// for immediately-granted tickets, the releasing terminal's time for
 	// queued ones). The driver resumes the terminal's clock from it.
+	// guarded by g.mu
 	grantNS int64
 	// enqueueNS is when Acquire was called, for wait accounting.
 	enqueueNS int64
@@ -78,14 +79,14 @@ type AdmissionGate struct {
 	mu         sync.Mutex
 	slots      int
 	queueDepth int
-	inUse      int
-	queue      []*Ticket
+	inUse      int       // guarded by mu
+	queue      []*Ticket // guarded by mu
 
-	admitted    int64
-	queuedTotal int64
-	rejected    int64
-	maxQueued   int
-	totalWaitNS int64
+	admitted    int64 // guarded by mu
+	queuedTotal int64 // guarded by mu
+	rejected    int64 // guarded by mu
+	maxQueued   int   // guarded by mu
+	totalWaitNS int64 // guarded by mu
 }
 
 // NewAdmissionGate creates a gate with the given number of session slots

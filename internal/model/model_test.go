@@ -247,3 +247,23 @@ func TestSolveSingular(t *testing.T) {
 		t.Fatalf("singular system must fail")
 	}
 }
+
+// TestAvgAbsErrorByTemplateDeterministic pins the map-order fix in
+// AvgAbsErrorByTemplate: per-template averages are summed in sorted
+// template order, so the reported error is bit-identical across calls.
+// (Float addition is not associative; summing in map-iteration order made
+// the result drift between otherwise identical runs.)
+func TestAvgAbsErrorByTemplateDeterministic(t *testing.T) {
+	pts := syntheticPoints(600, 1, tscout.SubsystemExecutionEngine,
+		func(x float64) float64 { return 1.0 / (1.1 + x) }, 61)
+	set, err := Train(pts, Ridge{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := set.AvgAbsErrorByTemplate(pts)
+	for i := 0; i < 50; i++ {
+		if got := set.AvgAbsErrorByTemplate(pts); got != first {
+			t.Fatalf("call %d: error %v != first call %v (map-order leak)", i, got, first)
+		}
+	}
+}

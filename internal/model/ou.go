@@ -147,8 +147,16 @@ func (s *OUModelSet) AvgAbsErrorByTemplate(test []Point) float64 {
 	if len(groups) == 0 {
 		return 0
 	}
+	// Sum in sorted template order: float addition is not associative, so
+	// map-order iteration would make the reported error drift run to run.
+	templates := make([]uint64, 0, len(groups))
+	for t := range groups {
+		templates = append(templates, t)
+	}
+	sort.Slice(templates, func(i, j int) bool { return templates[i] < templates[j] })
 	var total float64
-	for _, g := range groups {
+	for _, t := range templates {
+		g := groups[t]
 		total += g.sum / float64(g.n)
 	}
 	return total / float64(len(groups))

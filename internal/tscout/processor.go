@@ -197,8 +197,8 @@ type archEntry struct {
 // subsystem without scanning the merged archive.
 type drainShard struct {
 	mu      sync.Mutex
-	archive []archEntry
-	stats   SubsystemStats
+	archive []archEntry    // guarded by mu
+	stats   SubsystemStats // guarded by mu
 }
 
 func (s *drainShard) snapshotStats() SubsystemStats {
@@ -227,24 +227,24 @@ type Processor struct {
 	seq    atomic.Uint64
 
 	mu                  sync.Mutex
-	group               *kernel.TaskGroup
-	userQueue           [][]byte
-	userStats           SubsystemStats
-	lastRing            [NumSubsystems]bpf.RingStats
-	lastUserSubmitted   int64
-	lastUserDropped     int64
-	splitter            SplitWeightFunc
-	pendingFlush        []TrainingPoint
-	flushDrops          int64
-	retryQueue          []retryBatch
-	sinkRetries         int64
-	sinkRetryDrops      int64
-	processed           int64
-	polls               int64
-	lastGlobalBudget    int
-	lastEffectiveBudget int
-	feedbackActions     int64
-	batchHist           [BatchHistBuckets]int64
+	group               *kernel.TaskGroup            // guarded by mu
+	userQueue           [][]byte                     // guarded by mu
+	userStats           SubsystemStats               // guarded by mu
+	lastRing            [NumSubsystems]bpf.RingStats // guarded by mu
+	lastUserSubmitted   int64                        // guarded by mu
+	lastUserDropped     int64                        // guarded by mu
+	splitter            SplitWeightFunc              // guarded by mu
+	pendingFlush        []TrainingPoint              // guarded by mu
+	flushDrops          int64                        // guarded by mu
+	retryQueue          []retryBatch                 // guarded by mu
+	sinkRetries         int64                        // guarded by mu
+	sinkRetryDrops      int64                        // guarded by mu
+	processed           int64                        // guarded by mu
+	polls               int64                        // guarded by mu
+	lastGlobalBudget    int                          // guarded by mu
+	lastEffectiveBudget int                          // guarded by mu
+	feedbackActions     int64                        // guarded by mu
+	batchHist           [BatchHistBuckets]int64      // guarded by mu
 
 	// drainBatches holds one reusable contiguous drain buffer per drain
 	// thread (allocated with the task group); each worker goroutine only

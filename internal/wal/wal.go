@@ -91,22 +91,22 @@ type Serializer struct {
 	serMarker *tscout.Marker
 	wrMarker  *tscout.Marker
 
-	pending     []*Commit
-	pendingRecs int
-	pendingB    int64
+	pending     []*Commit // guarded by mu
+	pendingRecs int       // guarded by mu
+	pendingB    int64     // guarded by mu
 
 	// Deferred-submission state for the epoch driver: while deferMode is
 	// set, SubmitFrom stages commits instead of entering them into the
 	// pending batch, and CommitStaged replays the stage in a deterministic
 	// merged order at the epoch barrier.
-	deferMode bool
-	stage     []stagedCommit
-	stageSeq  map[int]uint64
+	deferMode bool           // guarded by mu
+	stage     []stagedCommit // guarded by mu
+	stageSeq  map[int]uint64 // guarded by mu
 
-	flushes    int64
-	buckets    int64
-	recsLogged int64
-	bytesDone  int64
+	flushes    int64 // guarded by mu
+	buckets    int64 // guarded by mu
+	recsLogged int64 // guarded by mu
+	bytesDone  int64 // guarded by mu
 }
 
 // stagedCommit is one deferred submission: the commit plus the merge key

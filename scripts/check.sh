@@ -6,7 +6,9 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go run ./internal/analysis/bpfcheck .
+# tsvet: the repo's typed static-analysis suite (determinism, guarded-by,
+# verify-before-run discipline). Zero unsuppressed findings required.
+go run ./internal/analysis/tsvet .
 go test -race -timeout 45m ./...
 
 # Single-shot smoke of the per-CPU drain benchmark and the end-to-end
