@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint analyze-smoke test race bench bench-smoke jit-smoke chaos-smoke scale-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint analyze-smoke test race bench bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke figures fuzz-smoke cover
 
-check: build lint analyze-smoke race bench-smoke jit-smoke chaos-smoke scale-smoke
+check: build lint analyze-smoke race bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzProcessorDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tscout -run '^$$' -fuzz '^FuzzFaultSchedule$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzPerCPUFaultOrder$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/archive -run '^$$' -fuzz '^FuzzSegmentCodec$$' -fuzztime $(FUZZTIME)
 
 # Coverage with a per-package summary (baseline recorded in README.md).
 cover:
@@ -91,6 +92,17 @@ chaos-smoke:
 # parallelism) determinism grid for the epoch/barrier engine.
 scale-smoke:
 	$(GO) test ./internal/workload -run '^(TestScaleSmoke|TestEpochEngineDeterminism|TestPooledBoundedQueueRejects)$$' -count=1
+
+# Archive smoke: the columnar training archive's acceptance surface —
+# bit-exact segment round-trip, CSV-export equivalence, SQL-over-mount
+# cross-check, chaos identities with the segment sink at drain parallelism
+# 1/2/4, the segment-sink golden fingerprint, the 2x density floor, and the
+# archive-vs-TrainingPoint model-path equivalence.
+archive-smoke:
+	$(GO) test ./internal/archive -run '^(TestRoundTripBitExact|TestExportCSVMatchesDirectSink|TestSQLOverArchive|TestChaosIdentitiesWithSegmentSink|TestColumnarDensityVsCSV)$$' -count=1
+	$(GO) test ./internal/workload -run '^TestSegmentSinkGoldenFingerprint$$' -count=1
+	$(GO) test ./internal/model -run '^TestFromArchiveMatchesFromTrainingPoints$$' -count=1
+	$(GO) test ./cmd/tsctl -run '^TestArchiveCmd' -count=1
 
 # Regenerate every figure at quick scale.
 figures:

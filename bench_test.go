@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"tscout/internal/archive"
 	"tscout/internal/bpf"
 	"tscout/internal/dbms"
 	"tscout/internal/experiment"
@@ -261,23 +262,144 @@ func BenchmarkProcessorShardedVsSingle(b *testing.B) {
 	b.Run("sharded-4", func(b *testing.B) { run(b, 4) })
 }
 
-// countingBatchSink counts delivered points, taking the BatchSink fast
-// path when the Processor offers it. Atomic counters keep it safe for the
-// sharded drain's concurrent flushes.
+// countingBatchSink counts delivered points through the batch-first Sink
+// interface. Atomic counters keep it safe for the sharded drain's
+// concurrent flushes.
 type countingBatchSink struct {
 	points  atomic.Int64
 	batches atomic.Int64
-}
-
-func (s *countingBatchSink) Write(tscout.TrainingPoint) error {
-	s.points.Add(1)
-	return nil
 }
 
 func (s *countingBatchSink) WriteBatch(pts []tscout.TrainingPoint) error {
 	s.points.Add(int64(len(pts)))
 	s.batches.Add(1)
 	return nil
+}
+
+func (s *countingBatchSink) Flush() error { return nil }
+func (s *countingBatchSink) Rows() int64  { return s.points.Load() }
+
+// sinkBenchPoints fabricates drain-shaped training points: a few OU shapes
+// with realistic feature vectors and monotone-ish metric streams, the load
+// the Processor's flush path actually delivers.
+func sinkBenchPoints(n int) []tscout.TrainingPoint {
+	names := [][]string{
+		{"num_rows", "row_width", "num_blocks"},
+		{"num_records", "bytes"},
+		{"packet_bytes", "num_messages"},
+	}
+	pts := make([]tscout.TrainingPoint, n)
+	for i := range pts {
+		shape := i % 3
+		feats := make([]float64, len(names[shape]))
+		for f := range feats {
+			feats[f] = float64((i*31 + f*7) % 4096)
+		}
+		pts[i] = tscout.TrainingPoint{
+			OU: tscout.OUID(1 + shape), OUName: []string{"seq_scan", "log_serialize", "net_read"}[shape],
+			Subsystem: tscout.SubsystemID(shape), PID: 100 + i%8,
+			Features: feats, FeatureNames: names[shape],
+			Metrics: tscout.Metrics{
+				ElapsedNS: int64(2000 + i*17), Cycles: uint64(6000 + i*41),
+				Instructions: uint64(9000 + i*13), CacheRefs: uint64(i % 512),
+				CacheMisses: uint64(i % 64), RefCycles: uint64(5000 + i*40),
+				DiskReadBytes: int64((i % 7) * 4096), AllocBytes: int64(i%3) << 12,
+			},
+		}
+	}
+	return pts
+}
+
+// BenchmarkSinkCSVvsColumnar is the archive acceptance benchmark: identical
+// batches through the CSV sink vs the columnar segment writer, reporting
+// write throughput (points/s) and archive density (bytes/point). The
+// columnar writer must beat CSV by ≥3x on throughput and ≥2x on size.
+func BenchmarkSinkCSVvsColumnar(b *testing.B) {
+	pts := sinkBenchPoints(8192)
+	const batch = 256
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			var cnt countingWriter
+			s, err := tscout.NewCSVSink(&cnt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off < len(pts); off += batch {
+				if err := s.WriteBatch(pts[off:min(off+batch, len(pts))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			bytesOut = cnt.n
+		}
+		b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		b.ReportMetric(float64(bytesOut)/float64(len(pts)), "bytes/point")
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			var cnt countingWriter
+			w := archive.NewWriter(&cnt)
+			for off := 0; off < len(pts); off += batch {
+				if err := w.WriteBatch(pts[off:min(off+batch, len(pts))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			bytesOut = cnt.n
+		}
+		b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		b.ReportMetric(float64(bytesOut)/float64(len(pts)), "bytes/point")
+	})
+}
+
+// countingWriter counts bytes and discards them.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkCSVFeatureCell documents the CSVSink feature-cell fix: the old
+// encoder rebuilt the cell with `feats += fmt.Sprintf(...)` per feature —
+// quadratic in cell length and one allocation per feature — where the
+// current tscout.AppendFeatureCell appends into a reused buffer.
+func BenchmarkCSVFeatureCell(b *testing.B) {
+	names := []string{"num_rows", "row_width", "num_blocks", "num_keys", "depth", "fanout", "fill", "reads"}
+	feats := []float64{184467, 88, 412, 99991, 4, 128, 0.8125, 3271}
+	b.Run("sprintf-concat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var cell string
+			for f, v := range feats {
+				if f > 0 {
+					cell += ";"
+				}
+				cell += fmt.Sprintf("%s=%g", names[f], v)
+			}
+			if len(cell) == 0 {
+				b.Fatal("empty cell")
+			}
+		}
+	})
+	b.Run("append-reused", func(b *testing.B) {
+		b.ReportAllocs()
+		var scratch []byte
+		for i := 0; i < b.N; i++ {
+			scratch = tscout.AppendFeatureCell(scratch[:0], names, feats)
+			if len(scratch) == 0 {
+				b.Fatal("empty cell")
+			}
+		}
+	})
 }
 
 // BenchmarkDrainPerCPUvsSingle is the headline comparison for the per-CPU

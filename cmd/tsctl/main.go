@@ -24,6 +24,16 @@
 //	                            clock, map order, guarded-by, seeded
 //	                            sources, discarded verify/run errors) over
 //	                            the source tree; non-zero exit on findings
+//	tsctl archive inspect [-json] <file>
+//	                            summarize a columnar training archive:
+//	                            segments, blocks, rows, bytes, row counts
+//	                            per OU and subsystem
+//	tsctl archive export -csv <file>
+//	                            write the archive's rows as CSV to stdout
+//	                            (byte-identical to a live CSVSink)
+//	tsctl archive verify [-json] <file>
+//	                            deep-check checksums, column encodings, and
+//	                            zone maps; exit 1 on corruption
 package main
 
 import (
@@ -41,8 +51,12 @@ import (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet|analyze")
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet|analyze|archive")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "archive" {
+		// archive inspects a self-describing segment file; no server needed.
+		os.Exit(archiveCmd(os.Stdout, os.Stderr, flag.Args()[1:]))
 	}
 	if flag.Arg(0) == "vet" {
 		// vet audits the Codegen output directly; it needs no server.

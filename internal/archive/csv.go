@@ -1,0 +1,29 @@
+package archive
+
+import (
+	"io"
+
+	"tscout/internal/tscout"
+)
+
+// ExportCSV losslessly re-exports an archive in the CSV sink's schema —
+// the interchange path behind `tsctl archive export -csv`. The output is
+// byte-identical to what a CSVSink fed the same points directly would
+// have produced.
+func ExportCSV(r *Reader, w io.Writer) (int64, error) {
+	pts, err := r.Points()
+	if err != nil {
+		return 0, err
+	}
+	sink, err := tscout.NewCSVSink(w)
+	if err != nil {
+		return 0, err
+	}
+	if err := sink.WriteBatch(pts); err != nil {
+		return 0, err
+	}
+	if err := sink.Flush(); err != nil {
+		return 0, err
+	}
+	return sink.Rows(), nil
+}

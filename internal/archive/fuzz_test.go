@@ -1,0 +1,106 @@
+package archive
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tscout/internal/storage"
+	"tscout/internal/tscout"
+)
+
+// FuzzSegmentCodec holds the reader to its two contracts: hostile bytes
+// never panic (every parse either errors or yields a consistent archive),
+// and anything that parses and verifies round-trips bit-exactly through
+// decode → re-encode → decode.
+func FuzzSegmentCodec(f *testing.F) {
+	// Seed with valid archives of assorted shapes so the fuzzer starts
+	// from deep in the format, plus trivially hostile prefixes.
+	seed := func(pts []tscout.TrainingPoint, segRows int) {
+		var buf bytes.Buffer
+		w := NewWriterSize(&buf, segRows)
+		_ = w.WriteBatch(pts)
+		_ = w.Flush()
+		f.Add(buf.Bytes())
+	}
+	mk := func(n int) []tscout.TrainingPoint {
+		pts := make([]tscout.TrainingPoint, n)
+		for i := range pts {
+			pts[i] = tscout.TrainingPoint{
+				OU: tscout.OUID(i % 3), OUName: "ou", Subsystem: tscout.SubsystemID(i % 2),
+				PID:          i,
+				Features:     []float64{float64(i), 0.5 * float64(i), math.Inf(-1)},
+				FeatureNames: []string{"a", "b", "c"},
+				Metrics:      tscout.Metrics{ElapsedNS: int64(i) * 17, Cycles: uint64(i) << 40},
+			}
+		}
+		return pts
+	}
+	seed(nil, 8)
+	seed(mk(1), 8)
+	seed(mk(37), 5)
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x53, 0x47, 0x31})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		// Parsed archives must be safe to walk in full.
+		_ = r.Stats()
+		NewTable(r).Scan(nil, nil, func(row storage.Row) bool { return true })
+		if err := r.Verify(); err != nil {
+			return // structurally valid but semantically corrupt: detected, done
+		}
+		pts, err := r.Points()
+		if err != nil {
+			t.Fatalf("Verify passed but Points failed: %v", err)
+		}
+		// Round trip: re-encode and compare bit-exactly.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteBatch(pts); err != nil {
+			t.Fatalf("re-encode WriteBatch: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("re-encode Flush: %v", err)
+		}
+		r2, err := NewReader(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded archive does not parse: %v", err)
+		}
+		pts2, err := r2.Points()
+		if err != nil {
+			t.Fatalf("re-encoded archive Points: %v", err)
+		}
+		if len(pts) != len(pts2) {
+			t.Fatalf("round trip changed row count %d -> %d", len(pts), len(pts2))
+		}
+		for i := range pts {
+			if !samePointFuzz(pts[i], pts2[i]) {
+				t.Fatalf("round trip changed point %d:\n %+v\n %+v", i, pts[i], pts2[i])
+			}
+		}
+	})
+}
+
+func samePointFuzz(a, b tscout.TrainingPoint) bool {
+	if a.OU != b.OU || a.OUName != b.OUName || a.Subsystem != b.Subsystem ||
+		a.PID != b.PID || a.Metrics != b.Metrics ||
+		len(a.Features) != len(b.Features) || len(a.FeatureNames) != len(b.FeatureNames) {
+		return false
+	}
+	for i := range a.Features {
+		if math.Float64bits(a.Features[i]) != math.Float64bits(b.Features[i]) {
+			return false
+		}
+	}
+	for i := range a.FeatureNames {
+		if a.FeatureNames[i] != b.FeatureNames[i] {
+			return false
+		}
+	}
+	return true
+}

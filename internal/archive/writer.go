@@ -1,0 +1,120 @@
+package archive
+
+import (
+	"io"
+	"sync"
+
+	"tscout/internal/tscout"
+)
+
+// DefaultSegmentRows is how many training points a Writer accumulates
+// before sealing a segment. Large enough that delta encoding and the
+// shared footer amortize well, small enough that a reader's block-decode
+// granularity stays cache-friendly.
+const DefaultSegmentRows = 4096
+
+// Writer is the archive's tscout.Sink: WriteBatch buffers drained points
+// and seals them into columnar wire segments on dst once DefaultSegmentRows
+// accumulate (Flush seals the remainder). Global row indexes are assigned
+// in arrival order, so an archive written at drain parallelism 1
+// reproduces the Processor's point order exactly.
+//
+// Errors from dst are sticky: once a segment write fails, every later
+// call reports the same error so the Processor's retry/SinkErrors
+// accounting sees a consistently failed sink.
+type Writer struct {
+	mu      sync.Mutex
+	dst     io.Writer              // guarded by mu
+	pending []tscout.TrainingPoint // guarded by mu — rows not yet sealed
+	perSeg  int                    // guarded by mu — rows per segment
+	rows    int64                  // guarded by mu — total accepted rows
+	nextRow uint64                 // guarded by mu — next global row index
+	err     error                  // guarded by mu — sticky write error
+	enc     encoder                // guarded by mu — reusable seal scratch
+	wire    []byte                 // guarded by mu — reusable wire buffer
+}
+
+// NewWriter returns a Writer sealing DefaultSegmentRows-row segments.
+func NewWriter(dst io.Writer) *Writer {
+	return NewWriterSize(dst, DefaultSegmentRows)
+}
+
+// NewWriterSize returns a Writer sealing rowsPerSegment-row segments
+// (values < 1 fall back to the default). Small sizes are used by tests to
+// force multi-segment archives from small inputs.
+func NewWriterSize(dst io.Writer, rowsPerSegment int) *Writer {
+	if rowsPerSegment < 1 {
+		rowsPerSegment = DefaultSegmentRows
+	}
+	return &Writer{dst: dst, perSeg: rowsPerSegment}
+}
+
+// WriteBatch implements tscout.Sink. The batch is copied into the pending
+// buffer under one lock acquisition; full segments seal inline on the
+// caller's (drain worker's) goroutine.
+func (w *Writer) WriteBatch(pts []tscout.TrainingPoint) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	// Grow straight to one segment's capacity instead of walking append's
+	// doubling chain: pending oscillates within [0, perSeg+batch), so a
+	// single reservation serves the writer's whole life.
+	if need := len(w.pending) + len(pts); need > cap(w.pending) {
+		if need < w.perSeg {
+			need = w.perSeg
+		}
+		np := make([]tscout.TrainingPoint, len(w.pending), need)
+		copy(np, w.pending)
+		w.pending = np
+	}
+	w.pending = append(w.pending, pts...)
+	for len(w.pending) >= w.perSeg {
+		if err := w.sealLocked(w.perSeg); err != nil {
+			return err
+		}
+	}
+	w.rows += int64(len(pts))
+	return nil
+}
+
+// Flush implements tscout.Sink: the pending remainder is sealed into a
+// final (short) segment.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.pending) == 0 {
+		return nil
+	}
+	return w.sealLocked(len(w.pending))
+}
+
+// Rows implements tscout.Sink.
+func (w *Writer) Rows() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rows
+}
+
+// sealLocked encodes the first n pending rows as one segment and writes
+// it to dst. Caller holds mu.
+func (w *Writer) sealLocked(n int) error {
+	w.wire = w.enc.encodeSegment(w.wire[:0], w.pending[:n], w.nextRow)
+	if _, err := w.dst.Write(w.wire); err != nil {
+		w.err = err
+		return err
+	}
+	w.nextRow += uint64(n)
+	// Slide the tail down rather than re-slicing so sealed TrainingPoints
+	// (and their Features backing arrays) are released promptly.
+	rem := copy(w.pending, w.pending[n:])
+	for i := rem; i < len(w.pending); i++ {
+		w.pending[i] = tscout.TrainingPoint{}
+	}
+	w.pending = w.pending[:rem]
+	return nil
+}

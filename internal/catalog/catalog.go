@@ -139,11 +139,13 @@ func (ix *Index) Len() int {
 	return ix.BTree.Len()
 }
 
-// Table is one table's metadata: heap plus indexes.
+// Table is one table's metadata: a heap plus indexes, or a read-only
+// virtual source (exactly one of Heap / Virtual is set).
 type Table struct {
 	Name    string
 	Heap    *storage.Table
 	Indexes []*Index
+	Virtual VirtualTable
 }
 
 // IndexOn returns the first index whose leading key columns exactly match
@@ -240,6 +242,9 @@ func (c *Catalog) createIndex(name, table string, cols []string, kind IndexKind,
 	t, err := c.Table(table)
 	if err != nil {
 		return nil, err
+	}
+	if t.Virtual != nil {
+		return nil, fmt.Errorf("catalog: cannot index virtual table %q", table)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

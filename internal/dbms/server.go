@@ -8,6 +8,7 @@ package dbms
 import (
 	"fmt"
 
+	"tscout/internal/archive"
 	"tscout/internal/catalog"
 	"tscout/internal/exec"
 	"tscout/internal/kernel"
@@ -47,6 +48,9 @@ type Config struct {
 	// ProcessorParallelism sets the number of modeled Processor drain
 	// threads (0 = the paper's single-threaded Processor).
 	ProcessorParallelism int
+	// Sink receives drained training points (e.g. an archive.Writer or
+	// CSV sink); nil keeps points in memory only.
+	Sink tscout.Sink
 	// NumCPUs sets the simulated CPU count before TScout deploys, so the
 	// per-CPU rings, task placement, and noise streams all size themselves
 	// to it (0 or 1 = the single-CPU topology every recorded experiment
@@ -95,6 +99,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Mode: cfg.Mode, Seed: cfg.Seed, RingCapacity: cfg.RingCapacity,
 			DisableProcessorFeedback: cfg.DisableFeedback,
 			ProcessorParallelism:     cfg.ProcessorParallelism,
+			ProcessorSink:            cfg.Sink,
 			OptimizeCollectors:       true,
 			CompileCollectors:        true,
 		})
@@ -143,6 +148,13 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	srv.WAL = wal.New(k, ts, serM, wrM, cfg.WAL)
 	return srv, nil
+}
+
+// MountArchive mounts a columnar training archive as the read-only
+// tscout_archive relation, so the engine can query the DBMS's own
+// training data in SQL (self-driving introspection).
+func (s *Server) MountArchive(r *archive.Reader) (*catalog.Table, error) {
+	return archive.Mount(s.Catalog, r)
 }
 
 // Session is one client connection with its own worker task and

@@ -64,6 +64,9 @@ func (e *Engine) executeDDL(stmt sql.Statement) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if tbl.Virtual != nil {
+			return nil, fmt.Errorf("exec: cannot index read-only virtual table %q", s.Table)
+		}
 		schema := tbl.Heap.Schema()
 		hash := s.Hash
 		for _, c := range s.Columns {

@@ -25,6 +25,9 @@ func (e *Engine) executeInsert(ctx *Ctx, s *sql.InsertStmt, params []storage.Val
 	if err != nil {
 		return nil, err
 	}
+	if tbl.Virtual != nil {
+		return nil, fmt.Errorf("exec: table %q is a read-only virtual table", s.Table)
+	}
 	schema := tbl.Heap.Schema()
 
 	// Map statement columns to schema positions.
@@ -92,6 +95,9 @@ func (e *Engine) executeUpdate(ctx *Ctx, s *sql.UpdateStmt, params []storage.Val
 	tbl, err := e.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
+	}
+	if tbl.Virtual != nil {
+		return nil, fmt.Errorf("exec: table %q is a read-only virtual table", s.Table)
 	}
 	schema := tbl.Heap.Schema()
 	rel := newRelation(s.Table, schema)
@@ -163,7 +169,10 @@ func (e *Engine) executeDelete(ctx *Ctx, s *sql.DeleteStmt, params []storage.Val
 	if err != nil {
 		return nil, err
 	}
-	rel := newRelation(s.Table, tbl.Heap.Schema())
+	if tbl.Virtual != nil {
+		return nil, fmt.Errorf("exec: table %q is a read-only virtual table", s.Table)
+	}
+	rel := newRelation(s.Table, tbl.Schema())
 	preds, deferred, err := compilePreds(s.Where, rel, params)
 	if err != nil {
 		return nil, err

@@ -59,7 +59,7 @@ func (e *Engine) explainPlan(ctx *Ctx, stmt sql.Statement, params []storage.Valu
 		if err != nil {
 			return nil, err
 		}
-		rel := newRelation(s.From.Binding(), tbl.Heap.Schema())
+		rel := newRelation(s.From.Binding(), tbl.Schema())
 		preds, deferred, err := compilePreds(s.Where, rel, params)
 		if err != nil {
 			return nil, err
@@ -71,7 +71,7 @@ func (e *Engine) explainPlan(ctx *Ctx, stmt sql.Statement, params []storage.Valu
 			if err != nil {
 				return nil, err
 			}
-			rrel := newRelation(j.Table.Binding(), rtbl.Heap.Schema())
+			rrel := newRelation(j.Table.Binding(), rtbl.Schema())
 			rpreds, still, err := compilePreds(deferred, rrel, params)
 			if err != nil {
 				return nil, err
@@ -98,7 +98,7 @@ func (e *Engine) explainPlan(ctx *Ctx, stmt sql.Statement, params []storage.Valu
 		if err != nil {
 			return nil, err
 		}
-		rel := newRelation(s.Table, tbl.Heap.Schema())
+		rel := newRelation(s.Table, tbl.Schema())
 		preds, _, err := compilePreds(s.Where, rel, params)
 		if err != nil {
 			return nil, err
@@ -112,7 +112,7 @@ func (e *Engine) explainPlan(ctx *Ctx, stmt sql.Statement, params []storage.Valu
 		if err != nil {
 			return nil, err
 		}
-		rel := newRelation(s.Table, tbl.Heap.Schema())
+		rel := newRelation(s.Table, tbl.Schema())
 		preds, _, err := compilePreds(s.Where, rel, params)
 		if err != nil {
 			return nil, err
@@ -127,6 +127,9 @@ func (e *Engine) explainPlan(ctx *Ctx, stmt sql.Statement, params []storage.Valu
 
 func accessLine(ap accessPath, tbl *catalog.Table) string {
 	switch {
+	case tbl.Virtual != nil:
+		return fmt.Sprintf("Virtual Scan on %s (%d pushdown predicates)",
+			tbl.Name, len(ap.residual))
 	case ap.index == nil:
 		return fmt.Sprintf("Seq Scan on %s (rows=%d, %d residual predicates)",
 			tbl.Name, ap.table.Heap.NumSlots(), len(ap.residual))

@@ -20,6 +20,9 @@ type accessPath struct {
 	keyLo, keyHi int64
 	// residual predicates to apply after the access path.
 	residual []compiledPred
+	// proj lists the schema columns the query reads (virtual tables only);
+	// nil means all. The scan unions in residual columns itself.
+	proj []int
 }
 
 // planAccess picks the cheapest access path for preds on tbl: a full-key
@@ -98,9 +101,15 @@ type match struct {
 // followed by a filter OU for residual predicates. It returns the visible
 // matches.
 func (e *Engine) runScan(ctx *Ctx, ap accessPath) []match {
+	var out []match
+
+	if ap.table.Virtual != nil {
+		out = e.runVirtualScan(ctx, ap)
+		return e.applyResidual(ctx, ap, out)
+	}
+
 	heap := ap.table.Heap
 	width := heap.Schema().RowWidth()
-	var out []match
 
 	if ap.index == nil {
 		m := e.ouBegin(ctx, OUSeqScan)
@@ -158,31 +167,112 @@ func (e *Engine) runScan(ctx *Ctx, ap accessPath) []match {
 			uint64(lookups), uint64(ap.index.Height()), uint64(len(out)), uint64(width))
 	}
 
-	if len(ap.residual) > 0 {
-		m := e.ouBegin(ctx, OUFilter)
-		in := len(out)
-		kept := out[:0]
-		for _, mt := range out {
-			ok := true
-			for _, p := range ap.residual {
-				if !p.eval(mt.row) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, mt)
+	return e.applyResidual(ctx, ap, out)
+}
+
+// applyResidual runs the filter OU over the scan's matches. Virtual-table
+// pushdown is block-granular (zone maps), so even pushed predicates are
+// re-checked here — correctness never depends on the source filtering.
+func (e *Engine) applyResidual(ctx *Ctx, ap accessPath, out []match) []match {
+	if len(ap.residual) == 0 {
+		return out
+	}
+	m := e.ouBegin(ctx, OUFilter)
+	in := len(out)
+	kept := out[:0]
+	for _, mt := range out {
+		ok := true
+		for _, p := range ap.residual {
+			if !p.eval(mt.row) {
+				ok = false
+				break
 			}
 		}
-		out = kept
-		ctx.Task.Charge(sim.Work{
-			Instructions: 40 + float64(in)*14*float64(len(ap.residual)),
-			BytesTouched: float64(in) * 16 * float64(len(ap.residual)),
-		})
-		ouEnd(ctx, m)
-		ouFeatures(ctx, m, 0, uint64(in), uint64(len(ap.residual)), uint64(len(out)))
+		if ok {
+			kept = append(kept, mt)
+		}
 	}
+	out = kept
+	ctx.Task.Charge(sim.Work{
+		Instructions: 40 + float64(in)*14*float64(len(ap.residual)),
+		BytesTouched: float64(in) * 16 * float64(len(ap.residual)),
+	})
+	ouEnd(ctx, m)
+	ouFeatures(ctx, m, 0, uint64(in), uint64(len(ap.residual)), uint64(len(out)))
 	return out
+}
+
+// runVirtualScan streams a virtual table (e.g. the mounted training
+// archive) under the seq_scan OU. The projection is the union of the
+// query's needs and the residual predicates' columns; pushdown predicates
+// let the source skip whole column blocks via its zone maps.
+func (e *Engine) runVirtualScan(ctx *Ctx, ap accessPath) []match {
+	vt := ap.table.Virtual
+	schema := vt.Schema()
+
+	proj := ap.proj
+	if proj != nil && len(ap.residual) > 0 {
+		have := make(map[int]bool, len(proj))
+		for _, c := range proj {
+			have[c] = true
+		}
+		for _, p := range ap.residual {
+			if !have[p.col] {
+				proj = append(proj, p.col)
+				have[p.col] = true
+			}
+		}
+	}
+	width := schema.RowWidth()
+	if proj != nil {
+		width = schema.ProjectionWidth(proj)
+	}
+
+	push := make([]catalog.VirtualPred, 0, len(ap.residual))
+	for _, p := range ap.residual {
+		op, ok := virtualOp(p.op)
+		if !ok {
+			continue
+		}
+		push = append(push, catalog.VirtualPred{Col: p.col, Op: op, Val: p.val})
+	}
+
+	m := e.ouBegin(ctx, OUSeqScan)
+	var out []match
+	stats := vt.Scan(proj, push, func(row storage.Row) bool {
+		out = append(out, match{row: row})
+		return true
+	})
+	blocks := stats.BlocksRead + stats.BlocksSkipped
+	work := sim.Work{
+		Instructions:         140 + 30*float64(stats.Rows) + 400*float64(blocks),
+		BytesTouched:         float64(stats.Rows)*float64(width) + 128*float64(blocks),
+		WorkingSetBytes:      float64(stats.Rows) * float64(width),
+		RandomAccessFraction: 0.05,
+	}
+	ctx.Task.Charge(work)
+	ouEnd(ctx, m)
+	ouFeatures(ctx, m, 0, uint64(stats.Rows), uint64(width), uint64(stats.BlocksRead), uint64(stats.BlocksSkipped))
+	return out
+}
+
+// virtualOp maps a SQL comparison to the catalog pushdown operator.
+func virtualOp(op sql.CmpOp) (catalog.VirtualOp, bool) {
+	switch op {
+	case sql.OpEq:
+		return catalog.VirtualEq, true
+	case sql.OpNe:
+		return catalog.VirtualNe, true
+	case sql.OpLt:
+		return catalog.VirtualLt, true
+	case sql.OpLe:
+		return catalog.VirtualLe, true
+	case sql.OpGt:
+		return catalog.VirtualGt, true
+	case sql.OpGe:
+		return catalog.VirtualGe, true
+	}
+	return 0, false
 }
 
 // compilePreds resolves WHERE conjuncts against rel, returning the

@@ -11,23 +11,28 @@ import (
 )
 
 func (e *Engine) executeSelect(ctx *Ctx, s *sql.SelectStmt, params []storage.Value) (*Result, error) {
-	// Fused path (§5.2): a simple scan pipeline executed under one
-	// measurement, emitting vectorized features.
-	if e.FuseSimpleSelects && len(s.Joins) == 0 && len(s.GroupBy) == 0 &&
-		len(s.OrderBy) == 0 && !hasAggs(s) {
-		return e.executeFusedSelect(ctx, s, params)
-	}
-
 	tbl, err := e.cat.Table(s.From.Name)
 	if err != nil {
 		return nil, err
 	}
-	rel := newRelation(s.From.Binding(), tbl.Heap.Schema())
+	// Fused path (§5.2): a simple scan pipeline executed under one
+	// measurement, emitting vectorized features. Virtual tables take the
+	// regular path — their scan is already columnar.
+	if e.FuseSimpleSelects && tbl.Virtual == nil && len(s.Joins) == 0 &&
+		len(s.GroupBy) == 0 && len(s.OrderBy) == 0 && !hasAggs(s) {
+		return e.executeFusedSelect(ctx, s, params)
+	}
+
+	rel := newRelation(s.From.Binding(), tbl.Schema())
 	preds, deferred, err := compilePreds(s.Where, rel, params)
 	if err != nil {
 		return nil, err
 	}
-	matches := e.runScan(ctx, planAccess(tbl, preds))
+	ap := planAccess(tbl, preds)
+	if tbl.Virtual != nil && len(s.Joins) == 0 && len(deferred) == 0 {
+		ap.proj = virtualProjection(s, rel)
+	}
+	matches := e.runScan(ctx, ap)
 	rel.rows = make([]storage.Row, len(matches))
 	for i, m := range matches {
 		rel.rows[i] = m.row
@@ -39,7 +44,7 @@ func (e *Engine) executeSelect(ctx *Ctx, s *sql.SelectStmt, params []storage.Val
 		if err != nil {
 			return nil, err
 		}
-		rrel := newRelation(j.Table.Binding(), rtbl.Heap.Schema())
+		rrel := newRelation(j.Table.Binding(), rtbl.Schema())
 		rpreds, stillDeferred, err := compilePreds(deferred, rrel, params)
 		if err != nil {
 			return nil, err
@@ -111,6 +116,47 @@ func (e *Engine) executeSelect(ctx *Ctx, s *sql.SelectStmt, params []storage.Val
 
 	e.emitOutput(ctx, res)
 	return res, nil
+}
+
+// virtualProjection lists the schema columns a single-table select needs
+// from a virtual scan, or nil (read everything) when a star or an
+// unresolvable reference makes the set unknowable.
+func virtualProjection(s *sql.SelectStmt, rel *relation) []int {
+	var cols []int
+	seen := make(map[int]bool)
+	add := func(c sql.ColRef) bool {
+		idx, err := rel.resolve(c)
+		if err != nil {
+			return false
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			cols = append(cols, idx)
+		}
+		return true
+	}
+	for _, x := range s.Exprs {
+		if x.Star {
+			return nil
+		}
+		if x.Agg == sql.AggCount && x.Col.Name == "" {
+			continue // COUNT(*) reads no column
+		}
+		if !add(x.Col) {
+			return nil
+		}
+	}
+	for _, g := range s.GroupBy {
+		if !add(g) {
+			return nil
+		}
+	}
+	for _, k := range s.OrderBy {
+		if !add(k.Col) {
+			return nil
+		}
+	}
+	return cols
 }
 
 func hasAggs(s *sql.SelectStmt) bool {

@@ -7,8 +7,10 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 
+	"tscout/internal/archive"
 	"tscout/internal/dbms"
 	"tscout/internal/model"
 	"tscout/internal/runner"
@@ -115,7 +117,7 @@ func collectOnline(profile sim.HardwareProfile, gen workload.Generator,
 	if err != nil {
 		return nil, err
 	}
-	return runOnline(srv, profile, gen, terminals, txns, rate, seed, false)
+	return runOnline(srv, profile, gen, terminals, txns, rate, seed, false, nil)
 }
 
 // collectOnlineComplete is the data-hungry variant: a deep ring and an
@@ -133,6 +135,7 @@ func collectOnline(profile sim.HardwareProfile, gen workload.Generator,
 // collected pool bit-identical across reruns.
 func collectOnlineComplete(profile sim.HardwareProfile, gen workload.Generator,
 	terminals, txns int, rate int, seed int64) (*onlineRun, error) {
+	ac := newArchiveCapture()
 	srv, err := dbms.NewServer(dbms.Config{
 		Profile:              profile,
 		Seed:                 seed,
@@ -142,16 +145,34 @@ func collectOnlineComplete(profile sim.HardwareProfile, gen workload.Generator,
 		DisableFeedback:      true,
 		ProcessorParallelism: 1,
 		RingCapacity:         1 << 17,
+		Sink:                 ac.w,
 		WAL:                  wal.Config{GroupSize: 32, FlushIntervalNS: 200_000},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return runOnline(srv, profile, gen, terminals, txns, rate, seed, true)
+	return runOnline(srv, profile, gen, terminals, txns, rate, seed, true, ac)
+}
+
+// archiveCapture threads the columnar archive through an online run: the
+// Processor's drain path streams segments into buf, and after the run the
+// training points are read back column-wise (model.FromArchive) instead of
+// materializing the in-memory Points() slice. With a single drain thread
+// the sink receives batches in archive order, so the round-trip is
+// bit-identical to the in-memory path.
+type archiveCapture struct {
+	buf bytes.Buffer
+	w   *archive.Writer
+}
+
+func newArchiveCapture() *archiveCapture {
+	ac := &archiveCapture{}
+	ac.w = archive.NewWriter(&ac.buf)
+	return ac
 }
 
 func runOnline(srv *dbms.Server, profile sim.HardwareProfile, gen workload.Generator,
-	terminals, txns int, rate int, seed int64, finalDrain bool) (*onlineRun, error) {
+	terminals, txns int, rate int, seed int64, finalDrain bool, ac *archiveCapture) (*onlineRun, error) {
 	if err := gen.Setup(srv); err != nil {
 		return nil, err
 	}
@@ -162,6 +183,20 @@ func runOnline(srv *dbms.Server, profile sim.HardwareProfile, gen workload.Gener
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ac != nil {
+		if err := ac.w.Flush(); err != nil {
+			return nil, err
+		}
+		r, err := archive.NewReader(ac.buf.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		pts, err := model.FromArchive(r, hwContext(profile))
+		if err != nil {
+			return nil, err
+		}
+		return &onlineRun{Points: pts, Result: res}, nil
 	}
 	return &onlineRun{
 		Points: model.FromTrainingPoints(srv.TS.Processor().Points(), hwContext(profile)),

@@ -45,6 +45,12 @@ func FromTrainingPoints(pts []tscout.TrainingPoint, hwContext []float64) []Point
 // feature vector quantized to order of magnitude. Points from the same
 // query template land in the same class.
 func templateKey(tp tscout.TrainingPoint) uint64 {
+	return templateKeyOf(tp.OU, tp.Features)
+}
+
+// templateKeyOf is templateKey over loose (OU, features) columns, shared
+// with the archive fast path that never materializes TrainingPoints.
+func templateKeyOf(ou tscout.OUID, features []float64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {
@@ -53,8 +59,8 @@ func templateKey(tp tscout.TrainingPoint) uint64 {
 		}
 		_, _ = h.Write(buf[:])
 	}
-	put(uint64(tp.OU))
-	for _, f := range tp.Features {
+	put(uint64(ou))
+	for _, f := range features {
 		put(uint64(quantize(f)))
 	}
 	return h.Sum64()

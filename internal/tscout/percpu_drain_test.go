@@ -14,7 +14,7 @@ import (
 
 // This file tests the per-CPU ring drain path (ISSUE 4): drain-thread ring
 // affinity, the per-ring accounting identity, the DrainOptions surface, and
-// the BatchSink fast path.
+// the batched sink delivery path.
 
 // deployPerCPU builds a kernel-mode deployment with an explicit simulated
 // CPU count, per-CPU ring capacity, and drain parallelism.
@@ -352,22 +352,14 @@ func TestDrainOptionsSemantics(t *testing.T) {
 	}
 }
 
-// recordingBatchSink records whether the Processor used the batched fast
-// path and how many points arrived through each entry point.
+// recordingBatchSink records how points arrive through the batch-first
+// Sink interface.
 type recordingBatchSink struct {
 	mu           sync.Mutex
-	single       int
 	batched      int
 	batchCalls   int
 	failBatches  bool
 	pointsInFail int
-}
-
-func (s *recordingBatchSink) Write(TrainingPoint) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.single++
-	return nil
 }
 
 func (s *recordingBatchSink) WriteBatch(pts []TrainingPoint) error {
@@ -382,8 +374,16 @@ func (s *recordingBatchSink) WriteBatch(pts []TrainingPoint) error {
 	return nil
 }
 
-// TestBatchSinkFastPath deploys with a BatchSink and checks every point is
-// delivered through WriteBatch (never point-at-a-time), and that a batch
+func (s *recordingBatchSink) Flush() error { return nil }
+
+func (s *recordingBatchSink) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.batched)
+}
+
+// TestBatchSinkFastPath checks every point is delivered through WriteBatch
+// with whole drained batches (not one-element wraps), and that a batch
 // error is charged against every point in the failed batch.
 func TestBatchSinkFastPath(t *testing.T) {
 	sink := &recordingBatchSink{}
@@ -406,14 +406,17 @@ func TestBatchSinkFastPath(t *testing.T) {
 	p.Drain(DrainOptions{})
 
 	sink.mu.Lock()
-	single, batched, calls := sink.single, sink.batched, sink.batchCalls
+	batched, calls := sink.batched, sink.batchCalls
 	sink.mu.Unlock()
-	if single != 0 {
-		t.Fatalf("%d points took the per-point path despite the sink implementing BatchSink", single)
-	}
 	if calls == 0 || int64(batched) != p.Stats().Processed {
 		t.Fatalf("batched delivery: %d points over %d calls, want all %d points",
 			batched, calls, p.Stats().Processed)
+	}
+	if calls >= batched {
+		t.Fatalf("%d calls for %d points: flushes are not batched", calls, batched)
+	}
+	if got := sink.Rows(); got != int64(batched) {
+		t.Fatalf("Rows() = %d, want %d", got, batched)
 	}
 
 	// A failing WriteBatch counts against every point in the batch.
@@ -435,35 +438,38 @@ func TestBatchSinkFastPath(t *testing.T) {
 	}
 }
 
-// TestBatchSinkAdapter covers the fallback: AsBatchSink on a plain Sink
-// loops Write for every point and reports the first error; on a sink that
-// already batches it returns the sink itself.
-func TestBatchSinkAdapter(t *testing.T) {
+// TestWritePoint covers the inverted adapter direction: the point-write
+// convenience wraps the batch-first interface, delivering a one-element
+// batch per call and surfacing the batch error unchanged.
+func TestWritePoint(t *testing.T) {
 	var wrote []int
 	fail := errors.New("bad point")
-	plain := sinkFunc(func(tp TrainingPoint) error {
-		wrote = append(wrote, tp.PID)
-		if tp.PID == 2 {
-			return fail
+	s := sinkFunc(func(pts []TrainingPoint) error {
+		for _, tp := range pts {
+			wrote = append(wrote, tp.PID)
+			if tp.PID == 2 {
+				return fail
+			}
 		}
 		return nil
 	})
-	bs := AsBatchSink(plain)
-	err := bs.WriteBatch([]TrainingPoint{{PID: 1}, {PID: 2}, {PID: 3}})
+	var err error
+	for _, tp := range []TrainingPoint{{PID: 1}, {PID: 2}, {PID: 3}} {
+		if werr := WritePoint(s, tp); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != fail {
-		t.Fatalf("WriteBatch error = %v, want first Write error", err)
+		t.Fatalf("WritePoint error = %v, want the sink's batch error", err)
 	}
 	if !reflect.DeepEqual(wrote, []int{1, 2, 3}) {
 		t.Fatalf("adapter delivered %v, want every point in order", wrote)
 	}
-
-	batching := &recordingBatchSink{}
-	if got := AsBatchSink(batching); got != BatchSink(batching) {
-		t.Fatalf("AsBatchSink wrapped a sink that already implements BatchSink")
-	}
 }
 
-// sinkFunc adapts a function to Sink.
-type sinkFunc func(TrainingPoint) error
+// sinkFunc adapts a batch function to Sink.
+type sinkFunc func([]TrainingPoint) error
 
-func (f sinkFunc) Write(tp TrainingPoint) error { return f(tp) }
+func (f sinkFunc) WriteBatch(pts []TrainingPoint) error { return f(pts) }
+func (f sinkFunc) Flush() error                         { return nil }
+func (f sinkFunc) Rows() int64                          { return 0 }

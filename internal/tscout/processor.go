@@ -136,45 +136,31 @@ func BudgetForPeriod(periodNS int64) int {
 	return b
 }
 
-// Sink receives finished training points (e.g. a CSV writer, cloud
-// uploader). A nil sink keeps points only in the in-memory archive. Sink
-// writes are issued outside all Processor locks, so a Sink may call back
-// into the Processor (stats, submissions) without deadlocking.
+// Sink receives finished training points (e.g. a CSV writer, columnar
+// segment writer, cloud uploader). The interface is batch-first: the
+// Processor's flush path delivers each drained batch with one WriteBatch
+// call, so a sink amortizes its per-write overhead (lock acquisition, row
+// encoding, syscalls) across a whole flush. A WriteBatch error counts
+// against every point in the batch — the sink rejected the delivery as a
+// unit. A nil sink keeps points only in the in-memory archive.
+//
+// Sink calls are issued outside all Processor locks, so a Sink may call
+// back into the Processor (stats, submissions) without deadlocking.
 type Sink interface {
-	Write(p TrainingPoint) error
-}
-
-// BatchSink is the optional batched fast path of Sink: sinks that can
-// amortize per-write overhead (lock acquisition, row encoding, syscalls)
-// across a whole flush implement WriteBatch, and the Processor's flush
-// path delivers each drained batch with one call. A WriteBatch error
-// counts against every point in the batch.
-type BatchSink interface {
-	Sink
+	// WriteBatch delivers one drained batch.
 	WriteBatch(pts []TrainingPoint) error
+	// Flush forces buffered output to the underlying target and reports
+	// any deferred write error.
+	Flush() error
+	// Rows reports the number of points written so far.
+	Rows() int64
 }
 
-// batchSinkAdapter lifts a plain Sink to BatchSink by looping; it delivers
-// every point and returns the first error.
-type batchSinkAdapter struct{ Sink }
-
-func (a batchSinkAdapter) WriteBatch(pts []TrainingPoint) error {
-	var first error
-	for _, tp := range pts {
-		if err := a.Write(tp); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
-
-// AsBatchSink returns s's own BatchSink implementation when it has one,
-// or a per-point fallback adapter otherwise.
-func AsBatchSink(s Sink) BatchSink {
-	if bs, ok := s.(BatchSink); ok {
-		return bs
-	}
-	return batchSinkAdapter{s}
+// WritePoint is the point-write convenience over the batch-first Sink: it
+// wraps the point in a one-element batch. Code that produces points one at
+// a time (tests, examples) uses it; the Processor never does.
+func WritePoint(s Sink, p TrainingPoint) error {
+	return s.WriteBatch([]TrainingPoint{p})
 }
 
 // SplitWeightFunc apportions a fused sample's metrics across its OUs
@@ -803,7 +789,7 @@ func (p *Processor) processUserBatch(bufs [][]byte) []TrainingPoint {
 
 // archivePoints appends finished points to their subsystems' archive
 // shards and enqueues them on the bounded flush queue for sink delivery.
-// No Sink.Write happens here: delivery is deferred to flushSink, outside
+// No sink call happens here: delivery is deferred to flushSink, outside
 // every Processor lock.
 func (p *Processor) archivePoints(pts []TrainingPoint) {
 	if len(pts) == 0 {
@@ -839,7 +825,7 @@ type retryBatch struct {
 }
 
 // flushSink drains the bounded flush queue to the sink. It holds no
-// Processor lock across Write, so a slow sink only delays delivery (and
+// Processor lock across WriteBatch, so a slow sink only delays delivery (and
 // eventually drops from the bounded queue) and a re-entrant sink — one
 // that submits samples or reads stats — cannot deadlock intake.
 //
@@ -896,36 +882,20 @@ func (p *Processor) flushSink() {
 // to its shard's SinkErrors; retries pass false so a point is never
 // counted twice.
 func (p *Processor) trySinkBatch(batch []TrainingPoint, countErrors bool) []TrainingPoint {
-	if bs, ok := p.sink.(BatchSink); ok {
-		// Batched fast path: one call per flush. A batch error counts
-		// against every point in the batch — the sink rejected the
-		// delivery as a unit.
-		if err := bs.WriteBatch(batch); err != nil {
-			if countErrors {
-				for _, tp := range batch {
-					sh := p.shards[tp.Subsystem]
-					sh.mu.Lock()
-					sh.stats.SinkErrors++
-					sh.mu.Unlock()
-				}
-			}
-			return batch
-		}
-		return nil
-	}
-	var failed []TrainingPoint
-	for _, tp := range batch {
-		if err := p.sink.Write(tp); err != nil {
-			if countErrors {
+	// One WriteBatch call per flush. A batch error counts against every
+	// point in the batch — the sink rejected the delivery as a unit.
+	if err := p.sink.WriteBatch(batch); err != nil {
+		if countErrors {
+			for _, tp := range batch {
 				sh := p.shards[tp.Subsystem]
 				sh.mu.Lock()
 				sh.stats.SinkErrors++
 				sh.mu.Unlock()
 			}
-			failed = append(failed, tp)
 		}
+		return batch
 	}
-	return failed
+	return nil
 }
 
 // requeueRetry schedules a failed delivery for another attempt, or drops

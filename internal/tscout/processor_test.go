@@ -236,30 +236,36 @@ func TestUserQueueDrainPenalty(t *testing.T) {
 	}
 }
 
-// reentrantSink calls back into the Processor from inside Write: it reads
-// stats, submits a sample, and re-polls. If any Processor lock were held
-// across Sink.Write, this would deadlock (single-goroutine self-lock).
+// reentrantSink calls back into the Processor from inside WriteBatch: it
+// reads stats, submits a sample, and re-polls. If any Processor lock were
+// held across Sink.WriteBatch, this would deadlock (single-goroutine
+// self-lock).
 type reentrantSink struct {
 	p        *Processor
 	repolled bool
 	writes   int
 }
 
-func (s *reentrantSink) Write(tp TrainingPoint) error {
-	s.writes++
-	_ = s.p.Processed()
-	_ = s.p.Stats()
-	s.p.SubmitUserSample(EncodeSample(tp.OU, tp.PID, Metrics{}, []uint64{1, 2}))
-	if !s.repolled {
-		s.repolled = true
-		s.p.Poll()
+func (s *reentrantSink) WriteBatch(pts []TrainingPoint) error {
+	for _, tp := range pts {
+		s.writes++
+		_ = s.p.Processed()
+		_ = s.p.Stats()
+		s.p.SubmitUserSample(EncodeSample(tp.OU, tp.PID, Metrics{}, []uint64{1, 2}))
+		if !s.repolled {
+			s.repolled = true
+			s.p.Poll()
+		}
 	}
 	return nil
 }
 
-// TestReentrantSinkDoesNotDeadlock is the acceptance check that no
-// Sink.Write happens while a Processor lock is held: the sink re-enters
-// the Processor (stats, submissions, even a nested Poll) from Write.
+func (s *reentrantSink) Flush() error { return nil }
+func (s *reentrantSink) Rows() int64  { return int64(s.writes) }
+
+// TestReentrantSinkDoesNotDeadlock is the acceptance check that no sink
+// delivery happens while a Processor lock is held: the sink re-enters
+// the Processor (stats, submissions, even a nested Poll) from WriteBatch.
 func TestReentrantSinkDoesNotDeadlock(t *testing.T) {
 	k := kernel.New(sim.LargeHW, 10, 0)
 	sink := &reentrantSink{}

@@ -371,8 +371,6 @@ type flakySink struct {
 	delivered int
 }
 
-func (s *flakySink) Write(TrainingPoint) error { return nil }
-
 func (s *flakySink) WriteBatch(pts []TrainingPoint) error {
 	s.calls++
 	if s.calls <= s.failures {
@@ -381,6 +379,9 @@ func (s *flakySink) WriteBatch(pts []TrainingPoint) error {
 	s.delivered += len(pts)
 	return nil
 }
+
+func (s *flakySink) Flush() error { return nil }
+func (s *flakySink) Rows() int64  { return int64(s.delivered) }
 
 var errSinkDown = errTest("sink down")
 

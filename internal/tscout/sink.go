@@ -2,7 +2,6 @@ package tscout
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
 	"sync"
@@ -10,38 +9,34 @@ import (
 
 // CSVSink streams training points to an io.Writer as CSV, one row per
 // point — the "write it to the appropriate output target" role of the
-// Processor (§3.2). The final format is configurable in the paper's
-// framework; CSV matches what NoisePage's model-training pipeline consumed.
+// Processor (§3.2). The binary segment archive (internal/archive) is the
+// primary output format; CSV survives as the export/interchange format
+// behind the same batch-first Sink API, matching what NoisePage's
+// model-training pipeline consumed.
 //
 // Columns: ou, ou_name, subsystem, pid, the 11 metrics of MetricNames,
 // then feature values paired as name=value (feature sets differ per OU).
 type CSVSink struct {
-	mu sync.Mutex
-	w  *csv.Writer
-	n  int64
+	mu      sync.Mutex
+	w       *csv.Writer // guarded by mu
+	n       int64       // guarded by mu
+	scratch []byte      // guarded by mu — reused feature-cell buffer
 }
 
 // NewCSVSink creates a sink and writes the header row.
 func NewCSVSink(w io.Writer) (*CSVSink, error) {
-	s := &CSVSink{w: csv.NewWriter(w)}
+	cw := csv.NewWriter(w)
 	header := append([]string{"ou", "ou_name", "subsystem", "pid"}, MetricNames...)
 	header = append(header, "features")
-	if err := s.w.Write(header); err != nil {
+	if err := cw.Write(header); err != nil {
 		return nil, err
 	}
-	return s, nil
+	return &CSVSink{w: cw}, nil
 }
 
-// Write implements Sink.
-func (s *CSVSink) Write(p TrainingPoint) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.writeLocked(p)
-}
-
-// WriteBatch implements BatchSink: the whole batch is written under one
-// lock acquisition, so a batching Processor pays the synchronization cost
-// once per flush rather than once per point.
+// WriteBatch implements Sink: the whole batch is written under one lock
+// acquisition, so the Processor pays the synchronization cost once per
+// flush rather than once per point.
 func (s *CSVSink) WriteBatch(pts []TrainingPoint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -69,23 +64,40 @@ func (s *CSVSink) writeLocked(p TrainingPoint) error {
 		strconv.FormatInt(m.NetSendBytes, 10),
 		strconv.FormatInt(m.AllocBytes, 10),
 	}
-	feats := ""
-	for i, f := range p.Features {
-		name := fmt.Sprintf("f%d", i)
-		if i < len(p.FeatureNames) {
-			name = p.FeatureNames[i]
-		}
-		if i > 0 {
-			feats += ";"
-		}
-		feats += fmt.Sprintf("%s=%g", name, f)
-	}
-	row = append(row, feats)
+	// Reuse one scratch buffer for the features cell: the old
+	// string-concatenation build re-allocated and re-copied the prefix for
+	// every feature (quadratic in vector width, two fmt allocations per
+	// feature on top).
+	s.scratch = AppendFeatureCell(s.scratch[:0], p.FeatureNames, p.Features)
+	row = append(row, string(s.scratch))
 	if err := s.w.Write(row); err != nil {
 		return err
 	}
 	s.n++
 	return nil
+}
+
+// AppendFeatureCell appends the canonical features-cell encoding to dst:
+// semicolon-separated name=value pairs, values in Go %g (shortest
+// round-trippable) form, names falling back to f<i> when the point carries
+// fewer names than features. The CSV sink and the archive's virtual-table
+// `features` column share this one encoder so the two surfaces stay
+// bit-identical.
+func AppendFeatureCell(dst []byte, names []string, feats []float64) []byte {
+	for i, f := range feats {
+		if i > 0 {
+			dst = append(dst, ';')
+		}
+		if i < len(names) {
+			dst = append(dst, names[i]...)
+		} else {
+			dst = append(dst, 'f')
+			dst = strconv.AppendInt(dst, int64(i), 10)
+		}
+		dst = append(dst, '=')
+		dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+	}
+	return dst
 }
 
 // Flush forces buffered rows out and reports the first write error.

@@ -32,6 +32,15 @@ go test ./internal/tscout -run '^TestChaos' -count=1
 # gate, plus the (NumCPUs x drain parallelism) determinism grid.
 go test ./internal/workload -run '^(TestScaleSmoke|TestEpochEngineDeterminism|TestPooledBoundedQueueRejects)$' -count=1
 
+# Archive smoke: the columnar training archive's acceptance surface —
+# bit-exact round-trip, CSV-export equivalence, SQL-over-mount cross-check,
+# chaos identities with the segment sink, the golden fingerprint through
+# segments, the 2x density floor, and the model-path equivalence.
+go test ./internal/archive -run '^(TestRoundTripBitExact|TestExportCSVMatchesDirectSink|TestSQLOverArchive|TestChaosIdentitiesWithSegmentSink|TestColumnarDensityVsCSV)$' -count=1
+go test ./internal/workload -run '^TestSegmentSinkGoldenFingerprint$' -count=1
+go test ./internal/model -run '^TestFromArchiveMatchesFromTrainingPoints$' -count=1
+go test ./cmd/tsctl -run '^TestArchiveCmd' -count=1
+
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
 # pattern per package invocation is a go test restriction).
 if [ "${FUZZ:-0}" = "1" ]; then
@@ -44,4 +53,5 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzProcessorDecode$' -fuzztime "$fuzztime"
 	go test ./internal/tscout -run '^$' -fuzz '^FuzzFaultSchedule$' -fuzztime "$fuzztime"
 	go test ./internal/kernel -run '^$' -fuzz '^FuzzPerCPUFaultOrder$' -fuzztime "$fuzztime"
+	go test ./internal/archive -run '^$' -fuzz '^FuzzSegmentCodec$' -fuzztime "$fuzztime"
 fi
