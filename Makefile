@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint analyze-smoke test race bench bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke figures fuzz-smoke cover
+.PHONY: check build vet lint analyze-smoke test race bench bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke autopilot-smoke figures fuzz-smoke cover
 
-check: build lint analyze-smoke race bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke
+check: build lint analyze-smoke race bench-smoke jit-smoke chaos-smoke scale-smoke archive-smoke autopilot-smoke
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,20 @@ archive-smoke:
 	$(GO) test ./internal/workload -run '^TestSegmentSinkGoldenFingerprint$$' -count=1
 	$(GO) test ./internal/model -run '^TestFromArchiveMatchesFromTrainingPoints$$' -count=1
 	$(GO) test ./cmd/tsctl -run '^TestArchiveCmd' -count=1
+
+# Autopilot smoke: the self-driving loop's acceptance surface — the
+# online-retraining controller converging/bursting/holding deterministic,
+# the online learners (ridge ≡ batch, windowed forest, prequential set),
+# chaos identities holding while the controller retunes rates live, the
+# error-vs-overhead frontier shape (autopilot Pareto-dominates fixed
+# rates), and the golden fingerprint staying bit-exact with the two-stream
+# sampler.
+autopilot-smoke:
+	$(GO) test ./internal/autopilot -count=1
+	$(GO) test ./internal/model -run '^(TestOnlineRidge|TestWindowedForest|TestErrorSurface|TestOnlineSet)' -count=1
+	$(GO) test ./internal/experiment -run '^TestFrontierShape$$' -count=1
+	$(GO) test ./internal/tscout -run '^(TestLiveRetuneBitEquality|TestRetuneIsolationAcrossSubsystems|TestStickySinkFailsFast)$$' -count=1
+	$(GO) test ./internal/workload -run '^TestSingleCPUGoldenFingerprint$$' -count=1
 
 # Regenerate every figure at quick scale.
 figures:

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tsbench [-full] fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary|all
+//	tsbench [-full] fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|summary|ablations|frontier|all
 //
 // The default quick scale finishes in seconds per figure; -full uses the
 // EXPERIMENTS.md scale.
@@ -22,7 +22,7 @@ func main() {
 	full := flag.Bool("full", false, "run at the EXPERIMENTS.md scale (slower)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tsbench [-full] <figure>\n"+
-			"figures: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 summary ablations all\n")
+			"figures: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 summary ablations frontier all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,7 +53,7 @@ func run(which string, sc experiment.Scale) error {
 		{"fig1", fig1}, {"fig2", fig2}, {"fig5", fig5}, {"fig6", fig6},
 		{"fig7", fig7}, {"fig8", fig8}, {"fig9", fig9}, {"fig10", fig10},
 		{"fig11", fig11}, {"fig12", fig12}, {"summary", summary},
-		{"ablations", ablations},
+		{"ablations", ablations}, {"frontier", frontier},
 	}
 	for _, fig := range figures {
 		name, fn := fig.name, fig.fn
@@ -280,6 +280,22 @@ func ablations(sc experiment.Scale) error {
 	header("Ablation: internal vs external feature collection (§2.2, TPC-C, 16 clients)")
 	for _, r := range ec {
 		fmt.Printf("%-26s %10.0f txns/s  p99=%dus\n", r.Strategy, r.ThroughputTPS, r.P99US)
+	}
+	return nil
+}
+
+func frontier(sc experiment.Scale) error {
+	rows, err := experiment.Frontier(sc)
+	if err != nil {
+		return err
+	}
+	header("Error-vs-overhead frontier: fixed sampling vs autopilot (TPC-C, 20 clients)")
+	fmt.Printf("%-12s %12s %10s %10s %12s %-16s %8s %6s\n",
+		"policy", "k txns/s", "overhead", "rows", "error(us)", "final rates", "epochs", "drift")
+	for _, r := range rows {
+		fmt.Printf("%-12s %12.1f %9.2f%% %10d %12.2f %-16s %8d %6d\n",
+			r.Policy, r.ThroughputTPS/1000, r.OverheadPct, r.TrainingRows,
+			r.ErrorUS, fmt.Sprint(r.FinalRates), r.Epochs, r.DriftEvents)
 	}
 	return nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+
+	"tscout/internal/archive"
+	"tscout/internal/autopilot"
+	"tscout/internal/dbms"
+	"tscout/internal/sim"
+	"tscout/internal/tscout"
+	"tscout/internal/wal"
+	"tscout/internal/workload"
+)
+
+// autopilotCmd runs an instrumented TPC-C burst with the online-retraining
+// controller closed over the collection pipeline and reports the loop
+// live: one line per reporting interval showing each subsystem's sampling
+// rate and prequential error horizons as the controller converges,
+// throttles, and (if the error jumps) bursts. It ends with the full
+// telemetry block, autopilot section included.
+func autopilotCmd(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("autopilot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	txns := fs.Int("txns", 4000, "transaction budget")
+	terminals := fs.Int("terminals", 20, "concurrent clients")
+	seed := fs.Int64("seed", 411, "run seed")
+	every := fs.Int64("report-every", 50, "print a live line every N controller epochs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var buf bytes.Buffer
+	aw := archive.NewWriterSize(&buf, 512)
+	srv, err := dbms.NewServer(dbms.Config{
+		Seed:                 *seed,
+		NoiseSigma:           0.04,
+		Instrument:           true,
+		Mode:                 tscout.KernelContinuous,
+		DisableFeedback:      true,
+		ProcessorParallelism: 1,
+		Sink:                 aw,
+		WAL:                  wal.Config{GroupSize: 32, FlushIntervalNS: 200_000},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "tsctl: %v\n", err)
+		return 1
+	}
+	gen := &workload.TPCC{
+		Warehouses: 4, CustomersPerDistrict: 20, Items: 200,
+		InitialOrdersPerDistrict: 20,
+	}
+	if err := gen.Setup(srv); err != nil {
+		fmt.Fprintf(stderr, "tsctl: %v\n", err)
+		return 1
+	}
+	srv.TS.Sampler().SetAllRates(100)
+	ctrl := autopilot.New(srv.TS, aw, autopilot.Config{
+		HWContext:  []float64{sim.LargeHW.ClockGHz * 1000},
+		MinSamples: 100,
+	})
+
+	fmt.Fprintf(stdout, "%8s %10s  %-18s %-40s\n",
+		"epoch", "virt(ms)", "rates (ee/net/ls/dw)", "recent err us (ee/net/ls/dw)")
+	inner := ctrl.Hook()
+	var lastReport int64
+	hook := func(nowNS int64) {
+		inner(nowNS)
+		st := ctrl.Stats()
+		if st.Epochs-lastReport < *every {
+			return
+		}
+		lastReport = st.Epochs
+		fmt.Fprintf(stdout, "%8d %10.2f  %-18s %-40s\n",
+			st.Epochs, float64(nowNS)/1e6, rateCells(st), errCells(st))
+	}
+
+	res, err := workload.Run(srv, gen, workload.Config{
+		Terminals: *terminals, Transactions: *txns, Seed: *seed,
+		FinalDrain: true, ProcessorPollNS: 25_000, OnDrain: hook,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "tsctl: %v\n", err)
+		return 1
+	}
+	if err := aw.Flush(); err != nil {
+		fmt.Fprintf(stderr, "tsctl: %v\n", err)
+		return 1
+	}
+	ctrl.Tick()
+
+	fmt.Fprintf(stdout, "\nrun: %d txns, %.0f txns/s, %d training points archived\n\n",
+		res.Completed, res.ThroughputTPS, res.TrainingPoints)
+	fmt.Fprint(stdout, formatProcessorStats(srv.TS.Processor().Stats()))
+	return 0
+}
+
+func rateCells(st tscout.AutopilotStats) string {
+	var b []byte
+	for i, sub := range tscout.AllSubsystems {
+		if i > 0 {
+			b = append(b, '/')
+		}
+		if st.Rates[sub] < 0 {
+			b = append(b, '-')
+		} else {
+			b = fmt.Appendf(b, "%d", st.Rates[sub])
+		}
+	}
+	return string(b)
+}
+
+func errCells(st tscout.AutopilotStats) string {
+	var b []byte
+	for i, sub := range tscout.AllSubsystems {
+		if i > 0 {
+			b = append(b, '/')
+		}
+		b = fmt.Appendf(b, "%.2f", st.RecentErrUS[sub])
+	}
+	return string(b)
+}

@@ -34,6 +34,12 @@
 //	tsctl archive verify [-json] <file>
 //	                            deep-check checksums, column encodings, and
 //	                            zone maps; exit 1 on corruption
+//	tsctl autopilot [-txns N] [-terminals N] [-seed N] [-report-every N]
+//	                            run an instrumented TPC-C burst with the
+//	                            online-retraining controller closed over the
+//	                            pipeline, reporting live per-subsystem
+//	                            sampling rates and prequential error as the
+//	                            loop converges and throttles
 package main
 
 import (
@@ -51,7 +57,7 @@ import (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet|analyze|archive")
+		fmt.Fprintln(os.Stderr, "usage: tsctl ous|tracepoints|disasm <subsystem>|stats|vet|analyze|archive|autopilot")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "archive" {
@@ -65,6 +71,11 @@ func main() {
 	if flag.Arg(0) == "analyze" {
 		// analyze audits the source tree; it needs no server either.
 		os.Exit(analyze(os.Stdout, flag.Args()[1:]))
+	}
+	if flag.Arg(0) == "autopilot" {
+		// autopilot builds its own archive-sinked server with the
+		// controller attached; the default server below has neither.
+		os.Exit(autopilotCmd(os.Stdout, os.Stderr, flag.Args()[1:]))
 	}
 	srv, err := dbms.NewServer(dbms.Config{
 		Seed:       1,

@@ -126,6 +126,36 @@ func formatProcessorStats(st tscout.ProcessorStats) string {
 		fmt.Fprintf(&b, "total-insns-saved=%d\n", st.TotalInsnsSaved())
 	}
 
+	// Autopilot block only renders when a controller is attached: rates,
+	// error horizons, and drift state per subsystem, plus the consumption
+	// counters that show the retraining loop is actually fed.
+	if st.Autopilot.Enabled {
+		ap := st.Autopilot
+		fmt.Fprintf(&b, "\nautopilot: epochs=%d refits=%d segments=%d points-consumed=%d\n",
+			ap.Epochs, ap.Refits, ap.Segments, ap.PointsConsumed)
+		fmt.Fprintf(&b, "%-18s %6s %12s %12s %8s %6s %10s\n",
+			"subsystem", "rate%", "recent(us)", "baseline(us)", "drift", "events", "state")
+		for _, sub := range tscout.AllSubsystems {
+			ratio := 1.0
+			if ap.BaselineErrUS[sub] > 0 {
+				ratio = ap.RecentErrUS[sub] / ap.BaselineErrUS[sub]
+			}
+			state := "holding"
+			if ap.Converged[sub] {
+				state = "converged"
+			} else if ratio >= 2 {
+				state = "drifting"
+			}
+			rate := "-"
+			if ap.Rates[sub] >= 0 {
+				rate = fmt.Sprintf("%d", ap.Rates[sub])
+			}
+			fmt.Fprintf(&b, "%-18s %6s %12.2f %12.2f %8.2f %6d %10s\n",
+				sub.String(), rate, ap.RecentErrUS[sub], ap.BaselineErrUS[sub],
+				ratio, ap.DriftEvents[sub], state)
+		}
+	}
+
 	// JIT dispatch only renders when compilation was attempted, mirroring
 	// the codegen block. Each program cell shows its native run count, or
 	// the decline reason for programs still on the interpreter.

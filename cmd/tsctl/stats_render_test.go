@@ -50,6 +50,14 @@ func fullyPopulatedStats() tscout.ProcessorStats {
 	}
 	st.User = tscout.SubsystemStats{Submitted: 77, Drained: 77, Points: 77}
 	st.BatchSizeHist = [tscout.BatchHistBuckets]int64{3, 8, 21, 5, 1, 0}
+	st.Autopilot = tscout.AutopilotStats{
+		Enabled: true, Epochs: 42, Refits: 7, PointsConsumed: 5000, Segments: 11,
+		Rates:         [tscout.NumSubsystems]int{1, 100, 50, -1},
+		RecentErrUS:   [tscout.NumSubsystems]float64{0.5, 9.0, 2.0, 0},
+		BaselineErrUS: [tscout.NumSubsystems]float64{0.6, 3.0, 2.1, 0},
+		DriftEvents:   [tscout.NumSubsystems]int64{0, 2, 0, 0},
+		Converged:     [tscout.NumSubsystems]bool{true, false, false, false},
+	}
 	return st
 }
 
@@ -72,6 +80,7 @@ func TestFormatProcessorStatsDeterministic(t *testing.T) {
 		"per-cpu rings", "quiet-rings=", "batch-size hist:", "resilience:",
 		"codegen insns", "total-insns-saved=", "jit (native runs",
 		"interp:helper-out-of-range", "compiled-programs=",
+		"autopilot: epochs=42", "converged", "drifting",
 	} {
 		if !strings.Contains(first, section) {
 			t.Errorf("rendered stats missing section %q:\n%s", section, first)

@@ -32,7 +32,13 @@ type Writer struct {
 	err     error                  // guarded by mu — sticky write error
 	enc     encoder                // guarded by mu — reusable seal scratch
 	wire    []byte                 // guarded by mu — reusable wire buffer
+	onSeal  func(segment []byte)   // guarded by mu — seal notification target
+	staged  [][]byte               // guarded by mu — sealed wire awaiting notify
 }
+
+// The Processor detects the sticky failure through StickySink and fails
+// fast instead of burning retry backoff against a torn archive.
+var _ tscout.StickySink = (*Writer)(nil)
 
 // NewWriter returns a Writer sealing DefaultSegmentRows-row segments.
 func NewWriter(dst io.Writer) *Writer {
@@ -49,13 +55,27 @@ func NewWriterSize(dst io.Writer, rowsPerSegment int) *Writer {
 	return &Writer{dst: dst, perSeg: rowsPerSegment}
 }
 
+// SetOnSeal registers fn to receive a copy of every sealed segment's wire
+// bytes. fn runs on the sealing goroutine, after the segment has been
+// written to dst and outside the writer's lock (so it may call back into
+// the Writer). With a single sealing goroutine — the Processor's flush
+// loop is one — notifications arrive in seal order, and any concatenation
+// of consecutively sealed segments parses with NewReader: this is the
+// autopilot's incremental tail read, no re-scan of the full archive.
+// Pass nil to stop notifications.
+func (w *Writer) SetOnSeal(fn func(segment []byte)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onSeal = fn
+}
+
 // WriteBatch implements tscout.Sink. The batch is copied into the pending
 // buffer under one lock acquisition; full segments seal inline on the
 // caller's (drain worker's) goroutine.
 func (w *Writer) WriteBatch(pts []tscout.TrainingPoint) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
+		w.mu.Unlock()
 		return w.err
 	}
 	// Grow straight to one segment's capacity instead of walking append's
@@ -70,27 +90,46 @@ func (w *Writer) WriteBatch(pts []tscout.TrainingPoint) error {
 		w.pending = np
 	}
 	w.pending = append(w.pending, pts...)
+	var err error
 	for len(w.pending) >= w.perSeg {
-		if err := w.sealLocked(w.perSeg); err != nil {
-			return err
+		if err = w.sealLocked(w.perSeg); err != nil {
+			break
 		}
 	}
-	w.rows += int64(len(pts))
-	return nil
+	if err == nil {
+		w.rows += int64(len(pts))
+	}
+	return w.unlockAndNotifyLocked(err)
 }
 
 // Flush implements tscout.Sink: the pending remainder is sealed into a
 // final (short) segment.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
+		w.mu.Unlock()
 		return w.err
 	}
-	if len(w.pending) == 0 {
-		return nil
+	var err error
+	if len(w.pending) > 0 {
+		err = w.sealLocked(len(w.pending))
 	}
-	return w.sealLocked(len(w.pending))
+	return w.unlockAndNotifyLocked(err)
+}
+
+// unlockAndNotifyLocked is entered holding mu: it takes the staged seal
+// notifications, releases the lock, delivers them in seal order, and
+// passes err through. Segments sealed before a write error are still
+// delivered — they reached dst.
+func (w *Writer) unlockAndNotifyLocked(err error) error {
+	staged := w.staged
+	w.staged = nil
+	fn := w.onSeal
+	w.mu.Unlock()
+	for _, seg := range staged {
+		fn(seg)
+	}
+	return err
 }
 
 // Rows implements tscout.Sink.
@@ -100,6 +139,16 @@ func (w *Writer) Rows() int64 {
 	return w.rows
 }
 
+// StickyErr implements tscout.StickySink: it reports the writer's
+// permanent error without consuming a write. The Processor uses it to
+// fail fast instead of retrying deliveries that a torn archive is
+// guaranteed to reject.
+func (w *Writer) StickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
 // sealLocked encodes the first n pending rows as one segment and writes
 // it to dst. Caller holds mu.
 func (w *Writer) sealLocked(n int) error {
@@ -107,6 +156,11 @@ func (w *Writer) sealLocked(n int) error {
 	if _, err := w.dst.Write(w.wire); err != nil {
 		w.err = err
 		return err
+	}
+	if w.onSeal != nil {
+		// Stage a copy for delivery after the lock drops (wire is reused
+		// by the next seal).
+		w.staged = append(w.staged, append([]byte(nil), w.wire...))
 	}
 	w.nextRow += uint64(n)
 	// Slide the tail down rather than re-slicing so sealed TrainingPoints

@@ -132,7 +132,7 @@ func TestAvgAbsErrorByTemplate(t *testing.T) {
 		t.Fatalf("in-sample linear error: %v", errUS)
 	}
 	// A deliberately wrong model set has large error.
-	bad := &OUModelSet{models: map[tscout.OUID]Model{}, fallback: 0}
+	bad := &OUModelSet{models: map[ouKey]Model{}, fallback: 0}
 	if bad.AvgAbsErrorByTemplate(pts) < 100 {
 		t.Fatalf("zero predictor must err")
 	}

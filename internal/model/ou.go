@@ -50,6 +50,12 @@ func templateKey(tp tscout.TrainingPoint) uint64 {
 
 // templateKeyOf is templateKey over loose (OU, features) columns, shared
 // with the archive fast path that never materializes TrainingPoints.
+//
+// Arity is part of the key by construction: the digest absorbs one 8-byte
+// word per feature, so the same OU observed at two feature widths (a
+// resource-mask change mid-run) hashes different-length inputs and lands
+// in different templates — [x] and [x, 0] do not collide. Model
+// partitioning handles the rest (see ouKey).
 func templateKeyOf(ou tscout.OUID, features []float64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -79,30 +85,44 @@ func quantize(v float64) int {
 	return b
 }
 
-// OUModelSet holds one trained model per OU (the decomposed modeling of
-// MB2 that TScout generates data for).
+// ouKey partitions training data by OU *and* feature arity. A deployment
+// that changes a subsystem's resource mask mid-run re-registers its OUs
+// with a different feature width, so one archive can hold the same OU at
+// several arities. Grouping by OU alone silently mixed those regimes into
+// one design matrix: Ridge rejected the inconsistent widths outright, and
+// the forest indexed short rows out of range or ignored the extra
+// features — feature i means different things under different masks.
+type ouKey struct {
+	ou    tscout.OUID
+	arity int
+}
+
+// OUModelSet holds one trained model per (OU, feature arity) — the
+// decomposed modeling of MB2 that TScout generates data for, partitioned
+// so mask changes mid-run never mix feature regimes.
 type OUModelSet struct {
-	models map[tscout.OUID]Model
-	// fallback predicts for OUs with no training data: the global mean.
+	models map[ouKey]Model
+	// fallback predicts for (OU, arity) pairs with no training data: the
+	// global mean.
 	fallback float64
 }
 
-// Train fits one model per OU present in the data.
+// Train fits one model per (OU, feature arity) present in the data.
 func Train(points []Point, trainer Trainer) (*OUModelSet, error) {
 	if len(points) == 0 {
 		return nil, ErrNoData
 	}
-	byOU := make(map[tscout.OUID][]Point)
+	byOU := make(map[ouKey][]Point)
 	var sum float64
 	for _, p := range points {
-		byOU[p.OU] = append(byOU[p.OU], p)
+		byOU[keyOf(p)] = append(byOU[keyOf(p)], p)
 		sum += p.TargetUS
 	}
 	set := &OUModelSet{
-		models:   make(map[tscout.OUID]Model, len(byOU)),
+		models:   make(map[ouKey]Model, len(byOU)),
 		fallback: sum / float64(len(points)),
 	}
-	for ou, pts := range byOU {
+	for key, pts := range byOU {
 		X := make([][]float64, len(pts))
 		y := make([]float64, len(pts))
 		for i, p := range pts {
@@ -111,16 +131,24 @@ func Train(points []Point, trainer Trainer) (*OUModelSet, error) {
 		}
 		m, err := trainer.Train(X, y)
 		if err != nil {
-			return nil, fmt.Errorf("model: OU %d: %w", ou, err)
+			return nil, fmt.Errorf("model: OU %d (arity %d): %w", key.ou, key.arity, err)
 		}
-		set.models[ou] = m
+		set.models[key] = m
 	}
 	return set, nil
 }
 
-// Predict returns the modeled elapsed microseconds for one point.
+// keyOf is a point's model-partition key.
+func keyOf(p Point) ouKey {
+	return ouKey{ou: p.OU, arity: len(p.Features)}
+}
+
+// Predict returns the modeled elapsed microseconds for one point. A point
+// whose (OU, arity) pair was never trained — an OU observed only under a
+// different resource mask — gets the fallback, never a model fed a
+// feature vector shaped for a different mask.
 func (s *OUModelSet) Predict(p Point) float64 {
-	m, ok := s.models[p.OU]
+	m, ok := s.models[keyOf(p)]
 	if !ok {
 		return s.fallback
 	}
@@ -136,6 +164,13 @@ func (s *OUModelSet) Predict(p Point) float64 {
 // over templates (§6: "we measure the absolute error for each query
 // template and then compute the average").
 func (s *OUModelSet) AvgAbsErrorByTemplate(test []Point) float64 {
+	return avgAbsErrorByTemplate(s.Predict, test)
+}
+
+// avgAbsErrorByTemplate is the metric over any predictor — shared by the
+// batch OUModelSet and the incremental OnlineSet so frontier experiments
+// compare them on identical footing.
+func avgAbsErrorByTemplate(predict func(Point) float64, test []Point) float64 {
 	type agg struct {
 		sum float64
 		n   int
@@ -147,7 +182,7 @@ func (s *OUModelSet) AvgAbsErrorByTemplate(test []Point) float64 {
 			g = &agg{}
 			groups[p.Template] = g
 		}
-		g.sum += math.Abs(p.TargetUS - s.Predict(p))
+		g.sum += math.Abs(p.TargetUS - predict(p))
 		g.n++
 	}
 	if len(groups) == 0 {

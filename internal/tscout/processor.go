@@ -163,6 +163,19 @@ func WritePoint(s Sink, p TrainingPoint) error {
 	return s.WriteBatch([]TrainingPoint{p})
 }
 
+// StickySink is optionally implemented by sinks whose write errors are
+// permanent: once a write fails, every later write reports the same error
+// (archive.Writer behaves this way — a torn segment cannot be resumed).
+// The Processor consults StickyErr around flushes; a non-nil value makes
+// delivery fail fast, dropping queued batches into SinkRetryDrops at once
+// instead of burning maxSinkRetries backoff cycles per batch against a
+// sink that is guaranteed never to accept them.
+type StickySink interface {
+	Sink
+	// StickyErr reports the permanent write error, or nil while healthy.
+	StickyErr() error
+}
+
 // SplitWeightFunc apportions a fused sample's metrics across its OUs
 // (paper §5.2/§6: "we preprocess the DBMS's online models to break
 // multiple OUs per operation into per-OU data points using offline
@@ -231,6 +244,7 @@ type Processor struct {
 	lastEffectiveBudget int                          // guarded by mu
 	feedbackActions     int64                        // guarded by mu
 	batchHist           [BatchHistBuckets]int64      // guarded by mu
+	autopilot           AutopilotStats               // guarded by mu
 
 	// drainBatches holds one reusable contiguous drain buffer per drain
 	// thread (allocated with the task group); each worker goroutine only
@@ -831,9 +845,16 @@ type retryBatch struct {
 //
 // Failed deliveries are retried on later flushes with bounded exponential
 // backoff (see retryBatch); after maxSinkRetries failures the points are
-// dropped and counted, never blocking intake on a dead sink.
+// dropped and counted, never blocking intake on a dead sink. A sink that
+// reports a permanent error (StickySink) skips the backoff machinery
+// entirely: queued batches fail fast into SinkRetryDrops, since every
+// redelivery against it is guaranteed futile.
 func (p *Processor) flushSink() {
 	if p.sink == nil {
+		return
+	}
+	if p.sinkStickyErr() != nil {
+		p.failStickySink()
 		return
 	}
 
@@ -854,11 +875,24 @@ func (p *Processor) flushSink() {
 	}
 	p.retryQueue = keep
 	p.mu.Unlock()
-	for _, rb := range due {
+	for i, rb := range due {
 		p.mu.Lock()
 		p.sinkRetries++
 		p.mu.Unlock()
 		if failed := p.trySinkBatch(rb.pts, false); len(failed) > 0 {
+			if p.sinkStickyErr() != nil {
+				// The failure just surfaced as permanent: this batch and
+				// every remaining due batch are dropped now — their points
+				// were charged to SinkErrors when they first failed.
+				p.mu.Lock()
+				p.sinkRetryDrops += int64(len(failed))
+				for _, rem := range due[i+1:] {
+					p.sinkRetryDrops += int64(len(rem.pts))
+				}
+				p.mu.Unlock()
+				p.failStickySink()
+				return
+			}
 			p.requeueRetry(failed, rb.attempts+1)
 		}
 	}
@@ -872,8 +906,51 @@ func (p *Processor) flushSink() {
 			return
 		}
 		if failed := p.trySinkBatch(batch, true); len(failed) > 0 {
+			if p.sinkStickyErr() != nil {
+				p.mu.Lock()
+				p.sinkRetryDrops += int64(len(failed))
+				p.mu.Unlock()
+				p.failStickySink()
+				return
+			}
 			p.requeueRetry(failed, 1)
 		}
+	}
+}
+
+// sinkStickyErr returns the sink's self-reported permanent error, or nil
+// for healthy sinks and sinks that don't implement StickySink.
+func (p *Processor) sinkStickyErr() error {
+	if ss, ok := p.sink.(StickySink); ok {
+		return ss.StickyErr()
+	}
+	return nil
+}
+
+// failStickySink is the sticky-sink fast-fail policy: the retry queue is
+// abandoned (its points were charged to SinkErrors on their first
+// failure) and the pending flush queue is charged and dropped in one
+// step. Without it, every queued batch burned maxSinkRetries backoff
+// cycles — 2+4+8 drain periods of guaranteed-futile redelivery each —
+// against a sink that can never accept another write. The archive shards
+// still hold every dropped point, so the loss identities are unchanged.
+func (p *Processor) failStickySink() {
+	p.mu.Lock()
+	for _, rb := range p.retryQueue {
+		p.sinkRetryDrops += int64(len(rb.pts))
+	}
+	p.retryQueue = nil
+	batch := p.pendingFlush
+	p.pendingFlush = nil
+	p.sinkRetryDrops += int64(len(batch))
+	p.mu.Unlock()
+	// First-delivery points count as sink rejections exactly once, the
+	// same as if the doomed WriteBatch had been issued.
+	for _, tp := range batch {
+		sh := p.shards[tp.Subsystem]
+		sh.mu.Lock()
+		sh.stats.SinkErrors++
+		sh.mu.Unlock()
 	}
 }
 
@@ -1040,7 +1117,11 @@ func (p *Processor) applyFeedback(deltaSub, deltaDrop [NumSubsystems]int64) {
 		if float64(deltaDrop[sub]) > feedbackDropThreshold*float64(deltaSub[sub]) {
 			rate := p.ts.sampler.Rate(sub)
 			if rate > 1 {
-				p.ts.sampler.SetRate(sub, rate*8/10)
+				// The feedback path stays on the sampler's shared stream:
+				// it is serial under the poll lock in AllSubsystems order
+				// at deterministic virtual times, and the golden
+				// fingerprints pin its historical draw schedule.
+				p.ts.sampler.setRateShared(sub, rate*8/10)
 				p.mu.Lock()
 				p.feedbackActions++
 				p.mu.Unlock()
@@ -1086,9 +1167,19 @@ func (p *Processor) Stats() ProcessorStats {
 	}
 	st.Processed = p.processed
 	st.BatchSizeHist = p.batchHist
+	st.Autopilot = p.autopilot
 	p.mu.Unlock()
 	st.Parallelism = p.Parallelism()
 	return st
+}
+
+// SetAutopilotStats publishes the attached controller's self-report so
+// Stats snapshots carry it alongside the pipeline counters. Called by the
+// autopilot after every epoch tick.
+func (p *Processor) SetAutopilotStats(st AutopilotStats) {
+	p.mu.Lock()
+	p.autopilot = st
+	p.mu.Unlock()
 }
 
 // Points returns a snapshot of the archived training points across all

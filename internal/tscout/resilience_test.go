@@ -365,6 +365,88 @@ func deployWithSink(t *testing.T, sink Sink) (*TScout, *kernel.Kernel, *Marker) 
 }
 
 // flakySink fails its first `failures` WriteBatch calls, then succeeds.
+// TestStickySinkFailsFast is the regression test for the sticky-retry
+// burn: a sink that reports its write errors as permanent (StickySink,
+// like archive.Writer) must not have batches redelivered through the
+// 2+4+8-poll backoff ladder. After the one failing delivery, queued and
+// future points fail fast into SinkRetryDrops, SinkRetries stays at zero,
+// the sink sees no further WriteBatch calls, and the in-memory archive
+// still holds every point (the loss identities never involve the sink).
+func TestStickySinkFailsFast(t *testing.T) {
+	sink := &stickySink{}
+	ts, k, scan := deployWithSink(t, sink)
+	p := ts.Processor()
+	task := k.NewTask("worker")
+
+	// A healthy delivery first, so stickiness demonstrably starts at the
+	// failure, not at deployment.
+	runOU(ts, task, scan, sim.Work{Instructions: 1000}, 1, 1)
+	p.Drain(DrainOptions{})
+	if sink.delivered == 0 {
+		t.Fatalf("healthy sink received nothing")
+	}
+
+	sink.fail()
+	runOU(ts, task, scan, sim.Work{Instructions: 1000}, 2, 2)
+	p.Drain(DrainOptions{}) // one real attempt fails; fast-fail kicks in
+	callsAtFailure := sink.calls
+
+	for i := 0; i < 20; i++ {
+		runOU(ts, task, scan, sim.Work{Instructions: 1000}, uint64(3+i), 1)
+		p.Drain(DrainOptions{})
+	}
+	st := p.Stats()
+	if st.SinkRetries != 0 {
+		t.Fatalf("sticky sink burned %d retry attempts; fast-fail must skip the backoff ladder", st.SinkRetries)
+	}
+	if st.PendingRetry != 0 || st.PendingFlush != 0 {
+		t.Fatalf("points parked against a dead sink: retry=%d flush=%d", st.PendingRetry, st.PendingFlush)
+	}
+	if st.SinkRetryDrops == 0 {
+		t.Fatalf("fast-failed points not counted in SinkRetryDrops")
+	}
+	if sink.calls != callsAtFailure {
+		t.Fatalf("sticky sink saw %d WriteBatch calls after its failing one", sink.calls-callsAtFailure)
+	}
+	// The accounting identity: every archived point either reached the
+	// sink or is counted as an error, and drops never exceed errors.
+	ks := st.Kernel[SubsystemExecutionEngine]
+	if ks.Points != int64(sink.delivered)+ks.SinkErrors {
+		t.Fatalf("points %d != delivered %d + sink errors %d", ks.Points, sink.delivered, ks.SinkErrors)
+	}
+	if st.SinkRetryDrops != ks.SinkErrors {
+		t.Fatalf("SinkRetryDrops %d != SinkErrors %d: a point was dropped without being charged, or charged twice",
+			st.SinkRetryDrops, ks.SinkErrors)
+	}
+	// The in-memory archive is unaffected by sink loss.
+	if got := int64(len(p.PointsFor(SubsystemExecutionEngine))); got != ks.Points {
+		t.Fatalf("archive holds %d points, stats say %d", got, ks.Points)
+	}
+}
+
+// stickySink mimics archive.Writer's failure model: after fail() every
+// write reports the same permanent error, and StickyErr exposes it.
+type stickySink struct {
+	err       error
+	calls     int
+	delivered int
+}
+
+func (s *stickySink) fail() { s.err = errSinkDown }
+
+func (s *stickySink) WriteBatch(pts []TrainingPoint) error {
+	if s.err != nil {
+		s.calls++
+		return s.err
+	}
+	s.delivered += len(pts)
+	return nil
+}
+
+func (s *stickySink) Flush() error     { return s.err }
+func (s *stickySink) Rows() int64      { return int64(s.delivered) }
+func (s *stickySink) StickyErr() error { return s.err }
+
 type flakySink struct {
 	failures  int
 	calls     int

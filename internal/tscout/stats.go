@@ -121,6 +121,41 @@ type ProcessorStats struct {
 	// interpreter/compiled dispatch counters (Enabled=false everywhere
 	// when Config.CompileCollectors is off or in user modes).
 	JIT [NumSubsystems]CollectorJITStats
+
+	// Autopilot is the online-retraining controller's self-report
+	// (Enabled=false when no controller is attached). The controller
+	// pushes a fresh block after every epoch tick, so a Stats snapshot
+	// shows rates, error horizons, and drift state coherently with the
+	// pipeline counters next to them.
+	Autopilot AutopilotStats
+}
+
+// AutopilotStats reports the state of the online-retraining controller
+// that closes the self-driving loop: what it learned (per-subsystem
+// prequential error), what it concluded (drift/convergence), and what it
+// did about it (the sampling rates it set).
+type AutopilotStats struct {
+	// Enabled reports whether a controller is attached.
+	Enabled bool
+	// Epochs counts controller ticks taken.
+	Epochs int64
+	// Refits counts incremental model refreshes performed.
+	Refits int64
+	// PointsConsumed counts archive rows absorbed into the online models.
+	PointsConsumed int64
+	// Segments counts sealed archive segments consumed.
+	Segments int64
+	// Rates is the sampling rate the controller last set per subsystem
+	// (percent; -1 before the controller first touches a subsystem).
+	Rates [NumSubsystems]int
+	// RecentErrUS / BaselineErrUS are the fast/slow prequential
+	// mean-absolute-error horizons per subsystem, in microseconds.
+	RecentErrUS   [NumSubsystems]float64
+	BaselineErrUS [NumSubsystems]float64
+	// DriftEvents counts burst-sampling escalations per subsystem.
+	DriftEvents [NumSubsystems]int64
+	// Converged marks subsystems currently throttled to the floor rate.
+	Converged [NumSubsystems]bool
 }
 
 // TotalInsnsSaved sums optimizer savings across every subsystem's three

@@ -66,6 +66,15 @@ type Config struct {
 	// events reconcile at the barrier. Default: ProcessorPollNS. Pooled
 	// driver only.
 	EpochNS int64
+	// OnDrain, when set, runs on the driver goroutine immediately after
+	// every Processor drain (periodic and final), with the virtual time
+	// of the drain. This is the autopilot controller's epoch tick: it
+	// fires at a deterministic point in the run schedule — never from a
+	// wall-clock timer — so anything the hook does (retuning sampling
+	// rates, refreshing models) lands at the same virtual instant on
+	// every same-seed rerun. The plain func type keeps workload free of
+	// a dependency on the controller package.
+	OnDrain func(nowNS int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +221,9 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		if srv.TS != nil && cfg.ProcessorPollNS > 0 && now-lastPoll >= cfg.ProcessorPollNS {
 			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(cfg.ProcessorPollNS)})
 			lastPoll = now
+			if cfg.OnDrain != nil {
+				cfg.OnDrain(now)
+			}
 		}
 
 		next.startNS = now
@@ -258,10 +270,22 @@ func Run(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		} else {
 			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(period)})
 		}
+		if cfg.OnDrain != nil {
+			cfg.OnDrain(maxNow)
+		}
 		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints
 		res.Processor = srv.TS.Processor().Stats()
 	} else if srv.TS != nil {
 		srv.TS.Processor().Drain(tscout.DrainOptions{})
+		if cfg.OnDrain != nil {
+			var maxNow int64
+			for _, t := range terms {
+				if n := t.se.Task.Now(); n > maxNow {
+					maxNow = n
+				}
+			}
+			cfg.OnDrain(maxNow)
+		}
 		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints
 		res.Processor = srv.TS.Processor().Stats()
 	}

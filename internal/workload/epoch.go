@@ -238,6 +238,9 @@ func runPooled(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		if srv.TS != nil && cfg.ProcessorPollNS > 0 && epochEnd-lastPoll >= cfg.ProcessorPollNS {
 			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(cfg.ProcessorPollNS)})
 			lastPoll = epochEnd
+			if cfg.OnDrain != nil {
+				cfg.OnDrain(epochEnd)
+			}
 		}
 
 		// --- Fast-forward ---------------------------------------------
@@ -319,8 +322,14 @@ func runPooled(srv *dbms.Server, gen Generator, cfg Config) (Result, error) {
 		} else {
 			srv.TS.Processor().Drain(tscout.DrainOptions{Budget: tscout.BudgetForPeriod(period)})
 		}
+		if cfg.OnDrain != nil {
+			cfg.OnDrain(elapsed)
+		}
 	} else if srv.TS != nil {
 		srv.TS.Processor().Drain(tscout.DrainOptions{})
+		if cfg.OnDrain != nil {
+			cfg.OnDrain(elapsed)
+		}
 	}
 	if srv.TS != nil {
 		res.TrainingPoints = srv.TS.Processor().Stats().Processed - basePoints

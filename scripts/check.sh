@@ -41,6 +41,17 @@ go test ./internal/workload -run '^TestSegmentSinkGoldenFingerprint$' -count=1
 go test ./internal/model -run '^TestFromArchiveMatchesFromTrainingPoints$' -count=1
 go test ./cmd/tsctl -run '^TestArchiveCmd' -count=1
 
+# Autopilot smoke: the self-driving loop's acceptance surface — the
+# online-retraining controller converging/bursting/holding deterministic,
+# the online learners, chaos identities under live retuning, the
+# error-vs-overhead frontier shape, and the golden fingerprint with the
+# two-stream sampler.
+go test ./internal/autopilot -count=1
+go test ./internal/model -run '^(TestOnlineRidge|TestWindowedForest|TestErrorSurface|TestOnlineSet)' -count=1
+go test ./internal/experiment -run '^TestFrontierShape$' -count=1
+go test ./internal/tscout -run '^(TestLiveRetuneBitEquality|TestRetuneIsolationAcrossSubsystems|TestStickySinkFailsFast)$' -count=1
+go test ./internal/workload -run '^TestSingleCPUGoldenFingerprint$' -count=1
+
 # FUZZ=1 adds a short fuzzing pass over every fuzz target (one -fuzz
 # pattern per package invocation is a go test restriction).
 if [ "${FUZZ:-0}" = "1" ]; then
